@@ -1,0 +1,126 @@
+//! Property-based contract tests: every imputer must (a) preserve
+//! observed cells bit-exactly, (b) produce finite values everywhere,
+//! (c) be deterministic for a fixed configuration, across random data
+//! shapes and masks. The GAN imputers are exercised with reduced
+//! budgets to keep the suite fast.
+
+use proptest::prelude::*;
+use smfl_baselines::{
+    CamfImputer, DlmImputer, GainImputer, IimImputer, Imputer, IterativeImputer, KnnImputer,
+    KnneImputer, LoessImputer, McImputer, MeanImputer, MfImputer, SoftImputeImputer,
+};
+use smfl_linalg::random::uniform_matrix;
+use smfl_linalg::{Mask, Matrix};
+
+fn fast_imputers() -> Vec<Box<dyn Imputer>> {
+    vec![
+        Box::new(MeanImputer),
+        Box::new(KnnImputer::default()),
+        Box::new(KnneImputer::default()),
+        Box::new(LoessImputer::default()),
+        Box::new(IimImputer::default()),
+        Box::new(DlmImputer::default()),
+        Box::new(McImputer::default()),
+        Box::new(SoftImputeImputer::default()),
+        Box::new(IterativeImputer::default()),
+        Box::new(MfImputer::nmf(3).with_max_iter(20)),
+        Box::new(MfImputer::smfl(3, 2).with_max_iter(20)),
+    ]
+}
+
+/// Random problem: data in [0,1] with ~`missing_pct`% holes in the
+/// attribute columns (first two stay observed, mirroring Table IV).
+fn problem(n: usize, m: usize, seed: u64, missing_pct: u32) -> (Matrix, Mask) {
+    let x = uniform_matrix(n, m, 0.0, 1.0, seed);
+    let sel = uniform_matrix(n, m, 0.0, 100.0, seed.wrapping_add(31));
+    let mut omega = Mask::full(n, m);
+    for i in 0..n {
+        for j in 2..m {
+            if sel.get(i, j) < missing_pct as f64 {
+                omega.set(i, j, false);
+            }
+        }
+    }
+    // keep one fully observed row so neighbour methods have material
+    for j in 0..m {
+        omega.set(0, j, true);
+    }
+    (x, omega)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn all_imputers_honor_the_contract(
+        n in 10usize..35,
+        m in 4usize..7,
+        seed in 0u64..2000,
+        missing in 5u32..35,
+    ) {
+        let (x, omega) = problem(n, m, seed, missing);
+        let blanked = omega.apply(&x).unwrap();
+        for imp in fast_imputers() {
+            let out = imp.impute(&blanked, &omega).unwrap();
+            prop_assert_eq!(out.shape(), x.shape());
+            prop_assert!(out.all_finite(), "{} non-finite", imp.name());
+            for (i, j) in omega.iter_set() {
+                prop_assert_eq!(
+                    out.get(i, j),
+                    blanked.get(i, j),
+                    "{} altered observed cell", imp.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn imputers_are_deterministic(
+        n in 10usize..25,
+        seed in 0u64..2000,
+    ) {
+        let (x, omega) = problem(n, 5, seed, 20);
+        let blanked = omega.apply(&x).unwrap();
+        for imp in fast_imputers() {
+            let a = imp.impute(&blanked, &omega).unwrap();
+            let b = imp.impute(&blanked, &omega).unwrap();
+            prop_assert!(a.approx_eq(&b, 0.0), "{} nondeterministic", imp.name());
+        }
+    }
+
+    #[test]
+    fn fully_observed_input_is_identity(
+        n in 5usize..20,
+        m in 3usize..6,
+        seed in 0u64..2000,
+    ) {
+        let x = uniform_matrix(n, m, 0.0, 1.0, seed);
+        let omega = Mask::full(n, m);
+        for imp in fast_imputers() {
+            let out = imp.impute(&x, &omega).unwrap();
+            prop_assert!(out.approx_eq(&x, 0.0), "{} changed complete data", imp.name());
+        }
+    }
+}
+
+#[test]
+fn gan_imputers_honor_contract_on_one_instance() {
+    // GAIN / CAMF are too slow for the property loop; one solid check.
+    let (x, omega) = problem(30, 5, 7, 20);
+    let blanked = omega.apply(&x).unwrap();
+    let gain = GainImputer {
+        iterations: 60,
+        ..GainImputer::default()
+    };
+    let camf = CamfImputer {
+        adv_epochs: 5,
+        ..CamfImputer::default()
+    };
+    for imp in [Box::new(gain) as Box<dyn Imputer>, Box::new(camf)] {
+        let out = imp.impute(&blanked, &omega).unwrap();
+        assert!(out.all_finite(), "{}", imp.name());
+        for (i, j) in omega.iter_set() {
+            assert_eq!(out.get(i, j), blanked.get(i, j), "{}", imp.name());
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 9 companion: end-to-end fit cost of NMF / SMF / SMFL while the
+//! number of tuples grows. Criterion gives the statistically careful
+//! version of the `fig9` binary's wall-clock table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smfl_bench::head_rows;
+use smfl_core::{fit, SmflConfig};
+use smfl_datasets::{inject_missing, lake, Scale};
+
+fn bench_fit_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_scaling");
+    group.sample_size(10);
+    let full = lake(Scale::Small, 0);
+    for &n in &[200usize, 400, 800] {
+        let d = head_rows(&full, n);
+        let inj = inject_missing(&d.data, &d.attribute_cols(), 0.10, 50, 0);
+        for (label, cfg) in [
+            ("nmf", SmflConfig::nmf(6)),
+            ("smf", SmflConfig::smf(6, 2)),
+            ("smfl", SmflConfig::smfl(6, 2)),
+        ] {
+            // 50 iterations: enough to time the steady-state loop without
+            // waiting for full convergence in a micro-benchmark.
+            let cfg = cfg.with_max_iter(50).with_tol(0.0);
+            group.bench_with_input(BenchmarkId::new(label, n), &inj, |b, inj| {
+                b.iter(|| fit(&inj.corrupted, &inj.omega, &cfg).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_scaling);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Spatial-substrate benchmarks: DESIGN.md ablation #3 (kd-tree vs
+//! brute-force kNN for building the similarity matrix `D`), k-means
+//! landmark generation, and full graph construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smfl_linalg::random::uniform_matrix;
+use smfl_spatial::graph::{NeighborSearch, SpatialGraph};
+use smfl_spatial::kmeans::{kmeans, KMeansConfig};
+use smfl_spatial::KdTree;
+
+fn bench_knn_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_graph_build");
+    for &n in &[500usize, 2000] {
+        let pts = uniform_matrix(n, 2, 0.0, 1.0, 1);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &pts, |b, pts| {
+            b.iter(|| SpatialGraph::build(pts, 3, NeighborSearch::KdTree).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce", n), &pts, |b, pts| {
+            b.iter(|| SpatialGraph::build(pts, 3, NeighborSearch::BruteForce).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_kdtree_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree_query");
+    let pts = uniform_matrix(10_000, 2, 0.0, 1.0, 2);
+    let tree = KdTree::build(&pts);
+    group.bench_function("nearest_5_of_10k", |b| {
+        let mut q = 0usize;
+        b.iter(|| {
+            q = (q + 37) % 10_000;
+            tree.nearest(pts.row(q), 5, q)
+        });
+    });
+    group.finish();
+}
+
+fn bench_kmeans_landmarks(c: &mut Criterion) {
+    // Landmark generation cost (paper Proposition 1's O(t2·K·N·L) term —
+    // shown NOT to dominate the pipeline).
+    let mut group = c.benchmark_group("kmeans_landmarks");
+    for &n in &[1000usize, 4000] {
+        let si = uniform_matrix(n, 2, 0.0, 1.0, 3);
+        group.bench_with_input(BenchmarkId::new("k8", n), &si, |b, si| {
+            b.iter(|| kmeans(si, &KMeansConfig::new(8).with_seed(0)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn_search, bench_kdtree_query, bench_kmeans_landmarks);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! DESIGN.md ablation #1 / paper §IV-E: per-iteration cost of the
+//! multiplicative update with and without landmarks.
+//!
+//! The landmark columns of `V` are frozen, so SMFL's `V` update runs on
+//! `M − L` columns instead of `M` — the paper claims (and Fig. 9 shows)
+//! a small but consistent speedup of SMFL over SMF. This bench isolates
+//! exactly that effect at fixed shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smfl_core::updater::{multiplicative_step, UpdateContext};
+use smfl_core::Landmarks;
+use smfl_linalg::random::positive_uniform_matrix;
+use smfl_linalg::{Mask, Matrix};
+use smfl_spatial::{NeighborSearch, SpatialGraph};
+
+struct Setup {
+    masked_x: Matrix,
+    omega: Mask,
+    graph: SpatialGraph,
+    landmarks: Landmarks,
+    u0: Matrix,
+    v0: Matrix,
+}
+
+fn setup(n: usize, m: usize, k: usize) -> Setup {
+    let x = positive_uniform_matrix(n, m, 1);
+    let mut omega = Mask::full(n, m);
+    for i in (0..n).step_by(10) {
+        omega.set(i, (i / 10) % m, false);
+    }
+    let si = x.columns(0, 2).unwrap();
+    let graph = SpatialGraph::build(&si, 3, NeighborSearch::KdTree).unwrap();
+    let landmarks = Landmarks::compute(&si, k, 300, 0).unwrap();
+    let masked_x = omega.apply(&x).unwrap();
+    let u0 = positive_uniform_matrix(n, k, 2).scale(1.0 / k as f64);
+    let mut v0 = positive_uniform_matrix(k, m, 3);
+    landmarks.inject(&mut v0).unwrap();
+    Setup {
+        masked_x,
+        omega,
+        graph,
+        landmarks,
+        u0,
+        v0,
+    }
+}
+
+fn bench_iteration_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiplicative_iteration");
+    for &(n, m, k) in &[(2000usize, 13usize, 8usize), (2000, 7, 6)] {
+        let s = setup(n, m, k);
+        // SMF: no landmark freeze (all of V updates).
+        group.bench_with_input(
+            BenchmarkId::new("smf", format!("{n}x{m}_k{k}")),
+            &s,
+            |b, s| {
+                let ctx = UpdateContext {
+                    masked_x: &s.masked_x,
+                    omega: &s.omega,
+                    graph: Some(&s.graph),
+                    lambda: 0.1,
+                    landmarks: None,
+                };
+                b.iter_batched(
+                    || (s.u0.clone(), s.v0.clone()),
+                    |(mut u, mut v)| multiplicative_step(&ctx, &mut u, &mut v).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        // SMFL: first L columns frozen.
+        group.bench_with_input(
+            BenchmarkId::new("smfl", format!("{n}x{m}_k{k}")),
+            &s,
+            |b, s| {
+                let ctx = UpdateContext {
+                    masked_x: &s.masked_x,
+                    omega: &s.omega,
+                    graph: Some(&s.graph),
+                    lambda: 0.1,
+                    landmarks: Some(&s.landmarks),
+                };
+                b.iter_batched(
+                    || (s.u0.clone(), s.v0.clone()),
+                    |(mut u, mut v)| multiplicative_step(&ctx, &mut u, &mut v).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration_cost);
+criterion_main!(benches);

@@ -1,0 +1,292 @@
+//! Shared experiment harness for the table/figure reproduction binaries.
+//!
+//! Every binary follows the paper's protocol (§IV-A): inject corruption
+//! with a seeded RNG, run each method, score RMS over the corrupted
+//! cells, and average over `runs` seeded repetitions ("we conduct it
+//! five times and take the average"). The harness centralizes that
+//! loop plus environment-variable configuration:
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `SMFL_SCALE` | `small` or `paper` dataset sizes | `small` |
+//! | `SMFL_RUNS`  | repetitions per cell | `3` (paper: 5) |
+//! | `SMFL_RANK`  | factorization rank `K` | `6` |
+//! | `SMFL_LAMBDA` | spatial-regularization weight `λ` | `10` |
+//! | `SMFL_P` | spatial nearest neighbours `p` | `5` |
+//!
+//! The λ/p defaults are this reproduction's sweet spot from its own
+//! Figs. 6/7 sweeps (the paper tunes per-dataset the same way; its data
+//! peaks at λ≈0.05-0.1, p≈3 — see EXPERIMENTS.md on the scale
+//! difference).
+
+use smfl_baselines::{Imputer, Repairer};
+use smfl_datasets::{inject_errors, inject_missing, Dataset, Scale};
+use smfl_eval::rms_over;
+use smfl_linalg::Result;
+
+/// Number of complete rows protected from injection (paper §IV-A1).
+pub const RESERVE_COMPLETE: usize = 100;
+
+/// Which columns receive missing-value injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissingTarget {
+    /// Only non-spatial attribute columns lose cells (Table IV setting).
+    AttributesOnly,
+    /// Spatial-information columns lose cells too (Table V setting).
+    IncludeSpatial,
+}
+
+/// Experiment-wide configuration from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Dataset size profile.
+    pub scale: Scale,
+    /// Seeded repetitions to average.
+    pub runs: u64,
+    /// Factorization rank for the MF family.
+    pub rank: usize,
+    /// Spatial-regularization weight λ for the MF family.
+    pub lambda: f64,
+    /// Spatial nearest neighbours p for the MF family.
+    pub p: usize,
+}
+
+impl HarnessConfig {
+    /// Reads `SMFL_SCALE` / `SMFL_RUNS` / `SMFL_RANK`.
+    pub fn from_env() -> HarnessConfig {
+        let scale = match std::env::var("SMFL_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Small,
+        };
+        let runs = std::env::var("SMFL_RUNS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3);
+        let rank = std::env::var("SMFL_RANK")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(6);
+        let lambda = std::env::var("SMFL_LAMBDA")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10.0);
+        let p = std::env::var("SMFL_P")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        HarnessConfig {
+            scale,
+            runs,
+            rank,
+            lambda,
+            p,
+        }
+    }
+
+    /// Tuned MF imputer for this harness configuration.
+    pub fn mf(&self, variant: smfl_core::Variant) -> smfl_baselines::MfImputer {
+        use smfl_core::Variant;
+        let base = match variant {
+            Variant::Nmf => smfl_baselines::MfImputer::nmf(self.rank),
+            Variant::Smf => smfl_baselines::MfImputer::smf(self.rank, 2),
+            Variant::Smfl => smfl_baselines::MfImputer::smfl(self.rank, 2),
+        };
+        smfl_baselines::MfImputer {
+            config: base.config.with_lambda(if variant == Variant::Nmf {
+                0.0
+            } else {
+                self.lambda
+            }).with_p(self.p),
+        }
+    }
+}
+
+/// Clamps the configured rank to what a dataset can support
+/// (`K < min(N, M)`, paper §II-B).
+pub fn rank_for(cfg: &HarnessConfig, dataset: &Dataset) -> usize {
+    cfg.rank
+        .min(dataset.m().saturating_sub(1))
+        .min(dataset.n().saturating_sub(1))
+        .max(1)
+}
+
+/// One imputation trial: inject missing cells, impute, score RMS on `Ψ`.
+pub fn imputation_trial(
+    dataset: &Dataset,
+    imputer: &dyn Imputer,
+    missing_rate: f64,
+    target: MissingTarget,
+    seed: u64,
+) -> Result<f64> {
+    let cols: Vec<usize> = match target {
+        MissingTarget::AttributesOnly => dataset.attribute_cols(),
+        MissingTarget::IncludeSpatial => (0..dataset.m()).collect(),
+    };
+    let inj = inject_missing(&dataset.data, &cols, missing_rate, RESERVE_COMPLETE, seed);
+    let out = imputer.impute(&inj.corrupted, &inj.omega)?;
+    rms_over(&out, &dataset.data, &inj.psi)
+}
+
+/// Mean imputation RMS over `runs` seeded trials.
+pub fn imputation_rms(
+    dataset: &Dataset,
+    imputer: &dyn Imputer,
+    missing_rate: f64,
+    target: MissingTarget,
+    runs: u64,
+) -> Result<f64> {
+    let mut total = 0.0;
+    for seed in 0..runs.max(1) {
+        total += imputation_trial(dataset, imputer, missing_rate, target, seed)?;
+    }
+    Ok(total / runs.max(1) as f64)
+}
+
+/// One repair trial: inject same-domain errors, repair, score RMS on the
+/// dirty cells.
+pub fn repair_trial(
+    dataset: &Dataset,
+    repairer: &dyn Repairer,
+    error_rate: f64,
+    seed: u64,
+) -> Result<f64> {
+    let inj = inject_errors(&dataset.data, error_rate, RESERVE_COMPLETE, seed);
+    let out = repairer.repair(&inj.corrupted, &inj.psi)?;
+    rms_over(&out, &dataset.data, &inj.psi)
+}
+
+/// Mean repair RMS over `runs` seeded trials.
+pub fn repair_rms(
+    dataset: &Dataset,
+    repairer: &dyn Repairer,
+    error_rate: f64,
+    runs: u64,
+) -> Result<f64> {
+    let mut total = 0.0;
+    for seed in 0..runs.max(1) {
+        total += repair_trial(dataset, repairer, error_rate, seed)?;
+    }
+    Ok(total / runs.max(1) as f64)
+}
+
+/// Markdown-style table printer shared by the binaries.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats an RMS value the way the paper's tables do (3 decimals), with
+/// `ERR` for failed runs.
+pub fn fmt_rms(value: Result<f64>) -> String {
+    match value {
+        Ok(v) => format!("{v:.3}"),
+        Err(_) => "ERR".to_string(),
+    }
+}
+
+/// Subsamples the first `n` rows of a dataset (for the Fig. 9 size
+/// sweep); routes/labels are dropped.
+pub fn head_rows(dataset: &Dataset, n: usize) -> Dataset {
+    let n = n.min(dataset.n());
+    Dataset {
+        name: dataset.name.clone(),
+        data: dataset.data.rows_range(0, n).expect("n clamped"),
+        spatial_cols: dataset.spatial_cols,
+        columns: dataset.columns.clone(),
+        cluster_labels: dataset
+            .cluster_labels
+            .as_ref()
+            .map(|l| l[..n].to_vec()),
+        routes: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smfl_baselines::{BaranLite, MeanImputer};
+    use smfl_datasets::generate::lake;
+
+    fn tiny_lake() -> Dataset {
+        head_rows(&lake(Scale::Small, 0), 150)
+    }
+
+    #[test]
+    fn imputation_trial_returns_sensible_rms() {
+        let d = tiny_lake();
+        let rms = imputation_trial(&d, &MeanImputer, 0.1, MissingTarget::AttributesOnly, 0)
+            .unwrap();
+        assert!(rms > 0.0 && rms < 1.0, "rms {rms}");
+    }
+
+    #[test]
+    fn trials_are_seed_deterministic() {
+        let d = tiny_lake();
+        let a = imputation_trial(&d, &MeanImputer, 0.1, MissingTarget::AttributesOnly, 7)
+            .unwrap();
+        let b = imputation_trial(&d, &MeanImputer, 0.1, MissingTarget::AttributesOnly, 7)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn averaging_over_runs_is_mean_of_trials() {
+        let d = tiny_lake();
+        let mean = imputation_rms(&d, &MeanImputer, 0.1, MissingTarget::AttributesOnly, 2)
+            .unwrap();
+        let t0 = imputation_trial(&d, &MeanImputer, 0.1, MissingTarget::AttributesOnly, 0)
+            .unwrap();
+        let t1 = imputation_trial(&d, &MeanImputer, 0.1, MissingTarget::AttributesOnly, 1)
+            .unwrap();
+        assert!((mean - (t0 + t1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn include_spatial_target_hits_si_columns() {
+        let d = tiny_lake();
+        let inj_attrs = inject_missing(&d.data, &d.attribute_cols(), 0.3, 0, 1);
+        let all: Vec<usize> = (0..d.m()).collect();
+        let inj_all = inject_missing(&d.data, &all, 0.3, 0, 1);
+        let si_holes_attrs = inj_attrs
+            .psi
+            .iter_set()
+            .filter(|&(_, j)| j < d.spatial_cols)
+            .count();
+        let si_holes_all = inj_all
+            .psi
+            .iter_set()
+            .filter(|&(_, j)| j < d.spatial_cols)
+            .count();
+        assert_eq!(si_holes_attrs, 0);
+        assert!(si_holes_all > 0);
+    }
+
+    #[test]
+    fn repair_trial_runs() {
+        let d = tiny_lake();
+        let rms = repair_trial(&d, &BaranLite, 0.1, 0).unwrap();
+        assert!(rms > 0.0 && rms < 1.0);
+    }
+
+    #[test]
+    fn head_rows_truncates() {
+        let d = lake(Scale::Small, 0);
+        let h = head_rows(&d, 50);
+        assert_eq!(h.n(), 50);
+        assert_eq!(h.cluster_labels.as_ref().unwrap().len(), 50);
+        assert!(h.validate());
+    }
+
+    #[test]
+    fn fmt_rms_formats() {
+        assert_eq!(fmt_rms(Ok(0.12345)), "0.123");
+        assert_eq!(
+            fmt_rms(Err(smfl_linalg::LinalgError::Empty)),
+            "ERR"
+        );
+    }
+}

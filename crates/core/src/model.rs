@@ -1,0 +1,495 @@
+//! The fit pipeline (paper Algorithm 1) and the fitted-model API.
+//!
+//! [`fit`] runs: graph construction (lines 2-3) → landmark generation
+//! and injection (lines 4-6) → the update loop (lines 7-9) → factor
+//! extraction. [`FittedModel::impute`] applies Formula 8
+//! (`X̂ ← R_Ω(X) + R_Ψ(X*)`), and [`repair`] reuses the same machinery
+//! with `Ψ` = the set of dirty cells (paper §II-D).
+
+use crate::config::{SmflConfig, Updater};
+use crate::landmarks::Landmarks;
+use crate::objective::objective_with_reconstruction;
+use crate::updater::{gradient_step, multiplicative_step, UpdateContext};
+use smfl_linalg::random::positive_uniform_matrix;
+use smfl_linalg::{LinalgError, Mask, Matrix, Result};
+use smfl_spatial::{fill_missing_si, SpatialGraph};
+
+/// A fitted factorization `X ≈ U·V`.
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    /// Coefficient matrix `U` (`N x K`); rows are per-tuple cluster
+    /// weights (the clustering application of §IV-B4 reads these).
+    pub u: Matrix,
+    /// Feature matrix `V` (`K x M`); for SMFL its first `L` columns hold
+    /// the landmark coordinates.
+    pub v: Matrix,
+    /// The landmarks used, when the variant has them.
+    pub landmarks: Option<Landmarks>,
+    /// Objective value after every iteration.
+    pub objective_history: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether the early-stop criterion fired before `max_iter`.
+    pub converged: bool,
+    /// Number of spatial columns `L` the model was fitted with.
+    pub spatial_cols: usize,
+}
+
+impl FittedModel {
+    /// The full reconstruction `X* = U·V`.
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        smfl_linalg::ops::matmul(&self.u, &self.v)
+    }
+
+    /// Formula 8: observed cells from `x`, everything else from `U·V`.
+    pub fn impute(&self, x: &Matrix, omega: &Mask) -> Result<Matrix> {
+        let xstar = self.reconstruct()?;
+        omega.blend(x, &xstar)
+    }
+
+    /// Locations of the learned features: the first `L` columns of `V`
+    /// (`K x L`). This is what Figs. 1 and 5 of the paper plot.
+    pub fn feature_locations(&self) -> Result<Matrix> {
+        self.v.columns(0, self.spatial_cols)
+    }
+
+    /// Hard cluster assignment per tuple: `argmax_k u_ik` (the
+    /// MF-as-clustering reading used in the §IV-B4 experiment).
+    pub fn cluster_labels(&self) -> Vec<usize> {
+        (0..self.u.rows())
+            .map(|i| {
+                // First maximum wins on ties.
+                let mut best = 0;
+                let mut best_v = f64::NEG_INFINITY;
+                for (k, &val) in self.u.row(i).iter().enumerate() {
+                    if val > best_v {
+                        best_v = val;
+                        best = k;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Final objective value (`None` before any iteration ran).
+    pub fn final_objective(&self) -> Option<f64> {
+        self.objective_history.last().copied()
+    }
+}
+
+/// Fits a model to the observed cells of `x`.
+///
+/// # Errors
+/// - shape mismatch between `x` and `omega`;
+/// - `rank == 0`, `rank >= N` or `spatial_cols > M` (`rank > M` is
+///   allowed: an overcomplete landmark dictionary);
+/// - negative observed values (the multiplicative rules require
+///   nonnegative data; min-max normalize first, as the paper does);
+/// - propagated substrate failures.
+pub fn fit(x: &Matrix, omega: &Mask, config: &SmflConfig) -> Result<FittedModel> {
+    fit_inner(x, omega, config, None)
+}
+
+/// [`fit`] with explicitly supplied landmarks, bypassing the k-means
+/// computation — for *curated* landmarks (the paper's §IV-C notes that
+/// carefully chosen landmarks can outperform automatic ones) and for
+/// the landmark-quality ablation.
+///
+/// The landmark matrix must be `K x L` matching the configuration; the
+/// landmarks are used regardless of `config.variant`.
+pub fn fit_with_landmarks(
+    x: &Matrix,
+    omega: &Mask,
+    config: &SmflConfig,
+    landmarks: Landmarks,
+) -> Result<FittedModel> {
+    if landmarks.k() != config.rank || landmarks.spatial_cols() != config.spatial_cols {
+        return Err(LinalgError::DimensionMismatch {
+            left: (landmarks.k(), landmarks.spatial_cols()),
+            right: (config.rank, config.spatial_cols),
+            op: "fit_with_landmarks",
+        });
+    }
+    fit_inner(x, omega, config, Some(landmarks))
+}
+
+fn fit_inner(
+    x: &Matrix,
+    omega: &Mask,
+    config: &SmflConfig,
+    landmarks_override: Option<Landmarks>,
+) -> Result<FittedModel> {
+    validate(x, omega, config)?;
+    let (n, m) = x.shape();
+    let k = config.rank;
+    let l = config.spatial_cols;
+
+    // Algorithm 1 lines 2-3: similarity graph on (possibly mean-filled) SI.
+    let graph = if config.variant.uses_spatial_regularization() && config.lambda != 0.0 {
+        let si = fill_missing_si(x, omega, l);
+        Some(SpatialGraph::build_weighted(
+            &si,
+            config.p_neighbors,
+            config.search,
+            config.weighting,
+        )?)
+    } else {
+        None
+    };
+
+    // Algorithm 1 line 1: strictly positive initialization. U is scaled
+    // by 1/K so the initial reconstruction U·V has the magnitude of the
+    // (unit-normalized) data — important for SMFL, whose frozen landmark
+    // columns cannot rescale themselves during the iterations.
+    let mut u = positive_uniform_matrix(n, k, config.seed).scale(1.0 / k as f64);
+    let mut v = positive_uniform_matrix(k, m, config.seed.wrapping_add(1));
+
+    // Algorithm 1 lines 4-6: landmarks (explicit override wins; else
+    // compute from k-means on the mean-filled SI for the SMFL variant).
+    let landmarks = match landmarks_override {
+        Some(lm) => {
+            lm.inject(&mut v)?;
+            Some(lm)
+        }
+        None if config.variant.uses_landmarks() => {
+            let si = fill_missing_si(x, omega, l);
+            let lm = Landmarks::compute(&si, k, config.kmeans_max_iter, config.seed)?;
+            lm.inject(&mut v)?;
+            Some(lm)
+        }
+        None => None,
+    };
+
+    let masked_x = omega.apply(x)?;
+    let ctx = UpdateContext {
+        masked_x: &masked_x,
+        omega,
+        graph: graph.as_ref(),
+        lambda: config.lambda,
+        landmarks: landmarks.as_ref(),
+    };
+
+    // Algorithm 1 lines 7-9: iterate until convergence or t₁.
+    let mut history = Vec::with_capacity(config.max_iter.min(1024));
+    let mut converged = false;
+    let mut iterations = 0;
+    for t in 0..config.max_iter {
+        let r = match config.updater {
+            Updater::Multiplicative => multiplicative_step(&ctx, &mut u, &mut v)?,
+            Updater::GradientDescent { learning_rate } => {
+                gradient_step(&ctx, &mut u, &mut v, learning_rate)?
+            }
+            Updater::Hals => crate::hals::hals_step(
+                &masked_x,
+                omega,
+                graph.as_ref(),
+                config.lambda,
+                landmarks.as_ref(),
+                &mut u,
+                &mut v,
+            )?,
+        };
+        let obj = objective_with_reconstruction(x, omega, &r, &u, config.lambda, graph.as_ref())?;
+        if !obj.is_finite() {
+            return Err(LinalgError::NoConvergence {
+                routine: "smfl_fit",
+                iterations: t,
+            });
+        }
+        let improved_enough = history
+            .last()
+            .is_some_and(|&prev: &f64| (prev - obj).abs() <= config.tol * prev.abs().max(1.0));
+        history.push(obj);
+        iterations = t + 1;
+        if improved_enough {
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(FittedModel {
+        u,
+        v,
+        landmarks,
+        objective_history: history,
+        iterations,
+        converged,
+        spatial_cols: l,
+    })
+}
+
+/// Fit + impute in one call: returns `X̂` with unobserved cells filled
+/// from the factorization (Algorithm 1's return value).
+pub fn impute(x: &Matrix, omega: &Mask, config: &SmflConfig) -> Result<Matrix> {
+    fit(x, omega, config)?.impute(x, omega)
+}
+
+/// Repair: replaces the cells flagged dirty (the paper's repair task,
+/// §II-D — `Ψ` comes from an error detector) with factorization values.
+pub fn repair(x: &Matrix, dirty: &Mask, config: &SmflConfig) -> Result<Matrix> {
+    let omega = dirty.complement();
+    impute(x, &omega, config)
+}
+
+fn validate(x: &Matrix, omega: &Mask, config: &SmflConfig) -> Result<()> {
+    if x.shape() != omega.shape() {
+        return Err(LinalgError::DimensionMismatch {
+            left: x.shape(),
+            right: omega.shape(),
+            op: "fit",
+        });
+    }
+    let (n, m) = x.shape();
+    if n == 0 || m == 0 {
+        return Err(LinalgError::Empty);
+    }
+    // K must stay below N (each landmark needs data); K > M is allowed
+    // (an overcomplete dictionary of landmarks, which Fig. 8's
+    // "moderately large K" recommendation exploits).
+    if config.rank == 0 || config.rank >= n.max(2) {
+        return Err(LinalgError::BadLength {
+            expected: n.saturating_sub(1),
+            actual: config.rank,
+        });
+    }
+    if config.spatial_cols > m {
+        return Err(LinalgError::IndexOutOfBounds {
+            index: (0, config.spatial_cols),
+            shape: (n, m),
+        });
+    }
+    if matches!(config.updater, Updater::Multiplicative) {
+        for (i, j) in omega.iter_set() {
+            if x.get(i, j) < 0.0 {
+                return Err(LinalgError::BadLength {
+                    expected: 0,
+                    actual: i * m + j,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SmflConfig;
+    use smfl_linalg::random::uniform_matrix;
+
+    /// Synthetic low-rank nonnegative data with two leading coordinate
+    /// columns — a miniature of the paper's setting.
+    fn spatial_data(n: usize, m: usize, seed: u64) -> Matrix {
+        let u = smfl_linalg::random::positive_uniform_matrix(n, 3, seed);
+        let v = smfl_linalg::random::positive_uniform_matrix(3, m, seed + 1);
+        smfl_linalg::ops::matmul(&u, &v).unwrap().scale(1.0 / 3.0)
+    }
+
+    fn drop_cells(n: usize, m: usize, frac_inv: usize) -> Mask {
+        let mut omega = Mask::full(n, m);
+        for i in 0..n {
+            if i % frac_inv == 0 {
+                omega.set(i, (i * 5 + 2) % m, false);
+            }
+        }
+        omega
+    }
+
+    #[test]
+    fn fit_runs_and_shapes_are_right() {
+        let x = spatial_data(40, 6, 1);
+        let omega = drop_cells(40, 6, 4);
+        let model = fit(&x, &omega, &SmflConfig::smfl(4, 2).with_max_iter(50)).unwrap();
+        assert_eq!(model.u.shape(), (40, 4));
+        assert_eq!(model.v.shape(), (4, 6));
+        assert_eq!(model.feature_locations().unwrap().shape(), (4, 2));
+        assert!(model.iterations > 0);
+        assert!(!model.objective_history.is_empty());
+    }
+
+    #[test]
+    fn objective_history_non_increasing_for_multiplicative() {
+        let x = spatial_data(30, 5, 2);
+        let omega = drop_cells(30, 5, 3);
+        for cfg in [
+            SmflConfig::nmf(3).with_max_iter(60),
+            SmflConfig::smf(3, 2).with_max_iter(60),
+            SmflConfig::smfl(3, 2).with_max_iter(60),
+        ] {
+            let model = fit(&x, &omega, &cfg).unwrap();
+            for w in model.objective_history.windows(2) {
+                assert!(
+                    w[1] <= w[0] + 1e-9,
+                    "objective rose under {:?}: {} -> {}",
+                    cfg.variant,
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn landmarks_present_only_for_smfl() {
+        let x = spatial_data(25, 5, 3);
+        let omega = Mask::full(25, 5);
+        assert!(fit(&x, &omega, &SmflConfig::smfl(3, 2).with_max_iter(5))
+            .unwrap()
+            .landmarks
+            .is_some());
+        assert!(fit(&x, &omega, &SmflConfig::smf(3, 2).with_max_iter(5))
+            .unwrap()
+            .landmarks
+            .is_none());
+        assert!(fit(&x, &omega, &SmflConfig::nmf(3).with_max_iter(5))
+            .unwrap()
+            .landmarks
+            .is_none());
+    }
+
+    #[test]
+    fn smfl_feature_locations_equal_landmarks() {
+        let x = spatial_data(30, 6, 4);
+        let omega = drop_cells(30, 6, 5);
+        let model = fit(&x, &omega, &SmflConfig::smfl(4, 2).with_max_iter(30)).unwrap();
+        let locs = model.feature_locations().unwrap();
+        let lm = model.landmarks.as_ref().unwrap();
+        assert!(locs.approx_eq(&lm.centers, 0.0));
+    }
+
+    #[test]
+    fn impute_preserves_observed_cells_exactly() {
+        let x = spatial_data(30, 5, 5);
+        let omega = drop_cells(30, 5, 3);
+        let imputed = impute(&x, &omega, &SmflConfig::smfl(3, 2).with_max_iter(40)).unwrap();
+        for (i, j) in omega.iter_set() {
+            assert_eq!(imputed.get(i, j), x.get(i, j));
+        }
+    }
+
+    #[test]
+    fn impute_recovers_low_rank_data_well() {
+        // Data is exactly rank 3; a rank-3 fit should fill the holes with
+        // small error.
+        let x = spatial_data(60, 6, 6);
+        let omega = drop_cells(60, 6, 2);
+        let psi = omega.complement();
+        let imputed = impute(
+            &x,
+            &omega,
+            &SmflConfig::nmf(3).with_max_iter(500).with_tol(1e-10),
+        )
+        .unwrap();
+        let mut err = 0.0;
+        let mut cnt = 0;
+        for (i, j) in psi.iter_set() {
+            err += (imputed.get(i, j) - x.get(i, j)).powi(2);
+            cnt += 1;
+        }
+        let rms = (err / cnt as f64).sqrt();
+        assert!(rms < 0.08, "imputation RMS too high: {rms}");
+    }
+
+    #[test]
+    fn repair_replaces_only_dirty_cells() {
+        let x = spatial_data(25, 5, 7);
+        let mut dirty = Mask::empty(25, 5);
+        dirty.set(3, 4, true);
+        dirty.set(10, 2, true);
+        let repaired = repair(&x, &dirty, &SmflConfig::smfl(3, 2).with_max_iter(30)).unwrap();
+        for i in 0..25 {
+            for j in 0..5 {
+                if !dirty.get(i, j) {
+                    assert_eq!(repaired.get(i, j), x.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn converges_before_cap_on_easy_data() {
+        let x = spatial_data(40, 5, 8);
+        let omega = Mask::full(40, 5);
+        let model = fit(&x, &omega, &SmflConfig::nmf(3).with_tol(1e-4)).unwrap();
+        assert!(model.converged, "did not converge in {} iters", model.iterations);
+        assert!(model.iterations < 500);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = spatial_data(20, 5, 9);
+        let omega = drop_cells(20, 5, 4);
+        let cfg = SmflConfig::smfl(3, 2).with_max_iter(20).with_seed(33);
+        let a = fit(&x, &omega, &cfg).unwrap();
+        let b = fit(&x, &omega, &cfg).unwrap();
+        assert!(a.u.approx_eq(&b.u, 0.0));
+        assert!(a.v.approx_eq(&b.v, 0.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let x = spatial_data(10, 5, 10);
+        let omega = Mask::full(10, 5);
+        assert!(fit(&x, &Mask::full(9, 5), &SmflConfig::nmf(2)).is_err());
+        assert!(fit(&x, &omega, &SmflConfig::nmf(0)).is_err());
+        assert!(fit(&x, &omega, &SmflConfig::nmf(10)).is_err()); // rank >= N
+        // rank > M is allowed: an overcomplete landmark dictionary.
+        assert!(fit(&x, &omega, &SmflConfig::nmf(6).with_max_iter(3)).is_ok());
+        assert!(fit(&x, &omega, &SmflConfig::smfl(2, 9)).is_err()); // L > M
+        assert!(fit(&Matrix::zeros(0, 0), &Mask::full(0, 0), &SmflConfig::nmf(1)).is_err());
+    }
+
+    #[test]
+    fn negative_observed_data_rejected_for_multiplicative() {
+        let mut x = spatial_data(10, 5, 11);
+        x.set(2, 2, -0.5);
+        let omega = Mask::full(10, 5);
+        assert!(fit(&x, &omega, &SmflConfig::nmf(2)).is_err());
+        // ...but fine when the negative cell is unobserved.
+        let mut omega2 = Mask::full(10, 5);
+        omega2.set(2, 2, false);
+        assert!(fit(&x, &omega2, &SmflConfig::nmf(2).with_max_iter(5)).is_ok());
+    }
+
+    #[test]
+    fn gradient_descent_variant_runs() {
+        let x = spatial_data(20, 5, 12);
+        let omega = drop_cells(20, 5, 4);
+        let cfg = SmflConfig::smf(3, 2)
+            .with_gradient_descent(5e-3)
+            .with_max_iter(100);
+        let model = fit(&x, &omega, &cfg).unwrap();
+        assert!(model.u.is_nonnegative(0.0));
+        assert!(model.v.is_nonnegative(0.0));
+        let first = model.objective_history[0];
+        let last = *model.objective_history.last().unwrap();
+        assert!(last <= first);
+    }
+
+    #[test]
+    fn cluster_labels_argmax() {
+        let model = FittedModel {
+            u: Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.7], vec![0.5, 0.5]]).unwrap(),
+            v: Matrix::zeros(2, 3),
+            landmarks: None,
+            objective_history: vec![],
+            iterations: 0,
+            converged: false,
+            spatial_cols: 0,
+        };
+        assert_eq!(model.cluster_labels(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn uniform_random_data_still_well_behaved() {
+        // Not low-rank at all: fit must stay finite and non-increasing.
+        let x = uniform_matrix(30, 6, 0.0, 1.0, 13);
+        let omega = drop_cells(30, 6, 3);
+        let model = fit(&x, &omega, &SmflConfig::smfl(4, 2).with_max_iter(40)).unwrap();
+        assert!(model.u.all_finite() && model.v.all_finite());
+        for w in model.objective_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+}

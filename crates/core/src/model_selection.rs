@@ -1,0 +1,300 @@
+//! Cross-validated hyperparameter selection for the SMFL family.
+//!
+//! The paper tunes `λ`, `p` and `K` by sensitivity sweeps (§IV-D,
+//! Figs. 6–8) against ground truth. In production there is no ground
+//! truth, so this module provides the practical equivalent: **masked
+//! validation** — hide a fraction of the *observed* cells, fit on the
+//! rest, and score RMS on the held-out cells. The winning configuration
+//! is then refitted on all observed data.
+
+use crate::config::SmflConfig;
+use crate::model::fit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smfl_linalg::{LinalgError, Mask, Matrix, Result};
+
+/// Search space for [`grid_search`]: the cross product of the listed
+/// values. Empty lists mean "keep the base config's value".
+#[derive(Debug, Clone, Default)]
+pub struct ParamGrid {
+    /// Candidate regularization weights `λ`.
+    pub lambdas: Vec<f64>,
+    /// Candidate neighbour counts `p`.
+    pub ps: Vec<usize>,
+    /// Candidate ranks `K`.
+    pub ranks: Vec<usize>,
+}
+
+impl ParamGrid {
+    /// A reasonable default sweep mirroring the paper's Figs. 6–8
+    /// ranges.
+    pub fn paper_ranges() -> ParamGrid {
+        ParamGrid {
+            lambdas: vec![0.01, 0.1, 1.0, 10.0],
+            ps: vec![3, 5],
+            ranks: vec![4, 6, 8],
+        }
+    }
+
+    fn candidates(&self, base: &SmflConfig) -> Vec<SmflConfig> {
+        let lambdas = if self.lambdas.is_empty() {
+            vec![base.lambda]
+        } else {
+            self.lambdas.clone()
+        };
+        let ps = if self.ps.is_empty() {
+            vec![base.p_neighbors]
+        } else {
+            self.ps.clone()
+        };
+        let ranks = if self.ranks.is_empty() {
+            vec![base.rank]
+        } else {
+            self.ranks.clone()
+        };
+        let mut out = Vec::with_capacity(lambdas.len() * ps.len() * ranks.len());
+        for &lambda in &lambdas {
+            for &p in &ps {
+                for &rank in &ranks {
+                    let mut c = base.clone();
+                    c.lambda = lambda;
+                    c.p_neighbors = p;
+                    c.rank = rank;
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One scored candidate from a [`grid_search`].
+#[derive(Debug, Clone)]
+pub struct Scored {
+    /// The candidate configuration.
+    pub config: SmflConfig,
+    /// Mean held-out RMS across validation folds.
+    pub validation_rms: f64,
+}
+
+/// Result of a grid search: every candidate scored, best first.
+#[derive(Debug, Clone)]
+pub struct GridSearchResult {
+    /// Candidates sorted ascending by validation RMS.
+    pub ranking: Vec<Scored>,
+}
+
+impl GridSearchResult {
+    /// The winning configuration.
+    pub fn best(&self) -> &Scored {
+        &self.ranking[0]
+    }
+}
+
+/// Splits the observed cells of `omega` into `folds` random validation
+/// masks (attribute columns only — coordinates stay observed, matching
+/// the Table IV protocol).
+fn validation_masks(
+    omega: &Mask,
+    spatial_cols: usize,
+    folds: usize,
+    holdout_frac: f64,
+    seed: u64,
+) -> Vec<Mask> {
+    let (n, m) = omega.shape();
+    (0..folds)
+        .map(|f| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(f as u64));
+            let mut held = Mask::empty(n, m);
+            for (i, j) in omega.iter_set() {
+                if j >= spatial_cols && rng.gen::<f64>() < holdout_frac {
+                    held.set(i, j, true);
+                }
+            }
+            held
+        })
+        .collect()
+}
+
+/// Scores every configuration in `grid` by masked validation and
+/// returns the full ranking.
+///
+/// `holdout_frac` of the observed attribute cells are hidden per fold
+/// (default protocol: 2 folds x 10%).
+///
+/// # Errors
+/// [`LinalgError::Empty`] when no candidate can be evaluated (e.g. all
+/// fits fail or no cells can be held out).
+pub fn grid_search(
+    x: &Matrix,
+    omega: &Mask,
+    base: &SmflConfig,
+    grid: &ParamGrid,
+    folds: usize,
+    holdout_frac: f64,
+) -> Result<GridSearchResult> {
+    let masks = validation_masks(omega, base.spatial_cols, folds.max(1), holdout_frac, base.seed);
+    let mut ranking = Vec::new();
+    for candidate in grid.candidates(base) {
+        let mut total = 0.0;
+        let mut scored_folds = 0usize;
+        for held in &masks {
+            if held.count() == 0 {
+                continue;
+            }
+            // Train on observed-minus-held cells.
+            let train_omega = omega.and(&held.complement())?;
+            let Ok(model) = fit(x, &train_omega, &candidate) else {
+                continue;
+            };
+            let rec = model.reconstruct()?;
+            let mut err = 0.0;
+            for (i, j) in held.iter_set() {
+                let d = rec.get(i, j) - x.get(i, j);
+                err += d * d;
+            }
+            total += (err / held.count() as f64).sqrt();
+            scored_folds += 1;
+        }
+        if scored_folds > 0 {
+            ranking.push(Scored {
+                config: candidate,
+                validation_rms: total / scored_folds as f64,
+            });
+        }
+    }
+    if ranking.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    ranking.sort_by(|a, b| {
+        a.validation_rms
+            .partial_cmp(&b.validation_rms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(GridSearchResult { ranking })
+}
+
+/// Grid search followed by a final fit of the winner on all observed
+/// cells — the end-to-end "tune and train" entry point.
+pub fn fit_with_selection(
+    x: &Matrix,
+    omega: &Mask,
+    base: &SmflConfig,
+    grid: &ParamGrid,
+) -> Result<(crate::model::FittedModel, GridSearchResult)> {
+    let result = grid_search(x, omega, base, grid, 2, 0.1)?;
+    let model = fit(x, omega, &result.best().config)?;
+    Ok((model, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smfl_linalg::random::uniform_matrix;
+
+    /// Spatially smooth data where λ≈0 should clearly lose.
+    fn problem() -> (Matrix, Mask) {
+        let si = uniform_matrix(80, 2, 0.0, 1.0, 1);
+        let x = Matrix::from_fn(80, 5, |i, j| match j {
+            0 | 1 => si.get(i, j),
+            _ => {
+                let (a, b) = (si.get(i, 0), si.get(i, 1));
+                (0.5 + 0.4 * ((4.0 * a).sin() * (3.0 * b).cos())).clamp(0.0, 1.0)
+            }
+        });
+        let mut omega = Mask::full(80, 5);
+        for i in (0..80).step_by(3) {
+            omega.set(i, 2 + (i % 3), false);
+        }
+        (x, omega)
+    }
+
+    #[test]
+    fn grid_covers_cross_product() {
+        let base = SmflConfig::smf(4, 2);
+        let grid = ParamGrid {
+            lambdas: vec![0.1, 1.0],
+            ps: vec![3, 5],
+            ranks: vec![4],
+        };
+        assert_eq!(grid.candidates(&base).len(), 4);
+        // empty lists keep base values
+        let empty = ParamGrid::default();
+        let c = empty.candidates(&base);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].lambda, base.lambda);
+    }
+
+    #[test]
+    fn search_ranks_all_candidates() {
+        let (x, omega) = problem();
+        let base = SmflConfig::smf(3, 2).with_max_iter(40);
+        let grid = ParamGrid {
+            lambdas: vec![0.0, 1.0],
+            ps: vec![3],
+            ranks: vec![3],
+        };
+        let result = grid_search(&x, &omega, &base, &grid, 2, 0.1).unwrap();
+        assert_eq!(result.ranking.len(), 2);
+        // ranking ascending
+        assert!(result.ranking[0].validation_rms <= result.ranking[1].validation_rms);
+    }
+
+    #[test]
+    fn validation_prefers_spatial_regularization_on_smooth_data() {
+        let (x, omega) = problem();
+        let base = SmflConfig::smf(3, 2).with_max_iter(80);
+        let grid = ParamGrid {
+            lambdas: vec![0.0, 2.0],
+            ps: vec![3],
+            ranks: vec![3],
+        };
+        let result = grid_search(&x, &omega, &base, &grid, 2, 0.15).unwrap();
+        assert!(
+            result.best().config.lambda > 0.0,
+            "expected nonzero λ to win on smooth data"
+        );
+    }
+
+    #[test]
+    fn fit_with_selection_returns_working_model() {
+        let (x, omega) = problem();
+        let base = SmflConfig::smfl(3, 2).with_max_iter(30);
+        let grid = ParamGrid {
+            lambdas: vec![0.1, 1.0],
+            ps: vec![],
+            ranks: vec![],
+        };
+        let (model, result) = fit_with_selection(&x, &omega, &base, &grid).unwrap();
+        assert!(model.u.all_finite());
+        assert_eq!(result.ranking.len(), 2);
+        let imputed = model.impute(&x, &omega).unwrap();
+        assert!(imputed.all_finite());
+    }
+
+    #[test]
+    fn holdout_masks_only_touch_observed_attribute_cells() {
+        let (_, omega) = problem();
+        let masks = validation_masks(&omega, 2, 3, 0.2, 7);
+        assert_eq!(masks.len(), 3);
+        for m in &masks {
+            for (i, j) in m.iter_set() {
+                assert!(j >= 2, "held out a coordinate cell");
+                assert!(omega.get(i, j), "held out an already-missing cell");
+            }
+        }
+    }
+
+    #[test]
+    fn no_holdable_cells_is_error() {
+        let x = uniform_matrix(5, 3, 0.0, 1.0, 2);
+        let omega = Mask::empty(5, 3); // nothing observed at all
+        let base = SmflConfig::smf(2, 2).with_max_iter(5);
+        let grid = ParamGrid {
+            lambdas: vec![0.1],
+            ps: vec![],
+            ranks: vec![],
+        };
+        assert!(grid_search(&x, &omega, &base, &grid, 2, 0.2).is_err());
+    }
+}

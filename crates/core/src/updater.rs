@@ -1,0 +1,333 @@
+//! The two optimizers of paper §III-B.
+//!
+//! - [`multiplicative_step`] — the self-adaptive multiplicative rules
+//!   (Formulas 13/14). Numerators and denominators are elementwise
+//!   nonnegative for nonnegative input, so the iterates stay in the
+//!   feasible region; denominators are guarded by [`EPS`] following
+//!   standard Lee–Seung practice.
+//! - [`gradient_step`] — projected gradient descent with a fixed
+//!   learning rate (§III-B1), kept feasible by clamping at zero. This is
+//!   the `SMF-GD` optimizer of Fig. 5.
+//!
+//! Landmark handling: `Φ` covers the *whole* first `L` columns of `V`
+//! (Definition 1), so the `V` update simply starts at column `L`. The
+//! `Uᵀ·R_Ω(X)` and `Uᵀ·R_Ω(UV)` products are evaluated only on the
+//! live columns — this is the computation the paper's §IV-E efficiency
+//! claim refers to.
+
+use crate::landmarks::Landmarks;
+use smfl_linalg::mask::masked_product;
+use smfl_linalg::ops::{matmul_at, matmul_bt};
+use smfl_linalg::{Mask, Matrix, Result};
+use smfl_spatial::SpatialGraph;
+
+/// Denominator guard for the multiplicative rules.
+pub const EPS: f64 = 1e-12;
+
+/// Immutable per-fit quantities shared by every iteration.
+pub struct UpdateContext<'a> {
+    /// `R_Ω(X)` — the masked data matrix, precomputed once.
+    pub masked_x: &'a Matrix,
+    /// The observation mask `Ω`.
+    pub omega: &'a Mask,
+    /// Spatial graph (`None` for plain NMF).
+    pub graph: Option<&'a SpatialGraph>,
+    /// Regularization weight `λ`.
+    pub lambda: f64,
+    /// Landmarks (`None` for NMF/SMF).
+    pub landmarks: Option<&'a Landmarks>,
+}
+
+impl UpdateContext<'_> {
+    /// First live (non-frozen) column of `V`.
+    fn v_start_col(&self) -> usize {
+        self.landmarks.map_or(0, Landmarks::spatial_cols)
+    }
+}
+
+/// One multiplicative iteration: updates `U` by Formula 13, then `V` by
+/// Formula 14 using the refreshed `U` (Algorithm 1 lines 8-9). Returns
+/// `R_Ω(U·V)` for the *final* `(U, V)` so the caller can evaluate the
+/// objective without an extra masked product.
+pub fn multiplicative_step(
+    ctx: &UpdateContext<'_>,
+    u: &mut Matrix,
+    v: &mut Matrix,
+) -> Result<Matrix> {
+    // ---- U update (Formula 13) ----
+    let r = masked_product(u, v, ctx.omega)?; // R_Ω(UV)
+    let mut numer_u = matmul_bt(ctx.masked_x, v)?; // R_Ω(X)·Vᵀ
+    let mut denom_u = matmul_bt(&r, v)?; // R_Ω(UV)·Vᵀ
+    if let (Some(g), true) = (ctx.graph, ctx.lambda != 0.0) {
+        let du = g.similarity.spmm(u)?; // D·U
+        let wu = g.degree.spmm(u)?; // W·U
+        numer_u.axpy(ctx.lambda, &du)?;
+        denom_u.axpy(ctx.lambda, &wu)?;
+    }
+    {
+        let us = u.as_mut_slice();
+        let ns = numer_u.as_slice();
+        let ds = denom_u.as_slice();
+        for ((uv, &n), &d) in us.iter_mut().zip(ns).zip(ds) {
+            *uv *= n / (d + EPS);
+        }
+    }
+
+    // ---- V update (Formula 14), live columns only ----
+    let r2 = masked_product(u, v, ctx.omega)?; // with refreshed U
+    let start = ctx.v_start_col();
+    let m = v.cols();
+    if start < m {
+        // Uᵀ·R_Ω(X) and Uᵀ·R_Ω(UV) restricted to live columns: slicing
+        // the (N x M) operands costs O(N·(M-L)) — negligible next to the
+        // O(N·K·(M-L)) products it shrinks.
+        let mx_tail = ctx.masked_x.columns(start, m)?;
+        let r2_tail = r2.columns(start, m)?;
+        let numer_v = matmul_at(u, &mx_tail)?; // K x (M-L)
+        let denom_v = matmul_at(u, &r2_tail)?;
+        for k in 0..v.rows() {
+            for j in start..m {
+                let n = numer_v.get(k, j - start);
+                let d = denom_v.get(k, j - start);
+                let val = v.get(k, j) * n / (d + EPS);
+                v.set(k, j, val);
+            }
+        }
+    }
+    // Landmarks were never touched (whole columns skipped), so no
+    // re-injection is needed; debug-check the invariant anyway.
+    debug_assert!(ctx
+        .landmarks
+        .is_none_or(|lm| lm.verify_injected(v)));
+
+    masked_product(u, v, ctx.omega)
+}
+
+/// One projected-gradient iteration (paper §III-B1). Returns `R_Ω(U·V)`
+/// for the updated factors.
+pub fn gradient_step(
+    ctx: &UpdateContext<'_>,
+    u: &mut Matrix,
+    v: &mut Matrix,
+    learning_rate: f64,
+) -> Result<Matrix> {
+    // ∂O/∂U = −2·R_Ω(X)·Vᵀ + 2·R_Ω(UV)·Vᵀ + 2λ·L·U
+    let r = masked_product(u, v, ctx.omega)?;
+    let diff = r.sub(ctx.masked_x)?; // R_Ω(UV) − R_Ω(X)
+    let mut grad_u = matmul_bt(&diff, v)?.scale(2.0);
+    if let (Some(g), true) = (ctx.graph, ctx.lambda != 0.0) {
+        let lu = g.laplacian.spmm(u)?;
+        grad_u.axpy(2.0 * ctx.lambda, &lu)?;
+    }
+    u.axpy(-learning_rate, &grad_u)?;
+    u.clamp_min(0.0);
+
+    // ∂O/∂V = 2·Uᵀ·(R_Ω(UV) − R_Ω(X)), frozen columns get zero gradient.
+    let r2 = masked_product(u, v, ctx.omega)?;
+    let diff2 = r2.sub(ctx.masked_x)?;
+    let grad_v = matmul_at(u, &diff2)?.scale(2.0);
+    let start = ctx.v_start_col();
+    for k in 0..v.rows() {
+        for j in start..v.cols() {
+            let val = (v.get(k, j) - learning_rate * grad_v.get(k, j)).max(0.0);
+            v.set(k, j, val);
+        }
+    }
+    debug_assert!(ctx
+        .landmarks
+        .is_none_or(|lm| lm.verify_injected(v)));
+
+    masked_product(u, v, ctx.omega)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::objective_with_reconstruction;
+    use smfl_linalg::random::{positive_uniform_matrix, uniform_matrix};
+    use smfl_spatial::NeighborSearch;
+
+    struct Setup {
+        x: Matrix,
+        masked_x: Matrix,
+        omega: Mask,
+        graph: SpatialGraph,
+    }
+
+    fn setup(n: usize, m: usize, seed: u64) -> Setup {
+        let x = uniform_matrix(n, m, 0.0, 1.0, seed);
+        let mut omega = Mask::full(n, m);
+        // knock out ~10% of cells deterministically
+        for i in 0..n {
+            if i % 3 == 0 {
+                omega.set(i, (i * 7) % m, false);
+            }
+        }
+        let si = x.columns(0, 2).unwrap();
+        let graph = SpatialGraph::build(&si, 3, NeighborSearch::KdTree).unwrap();
+        let masked_x = omega.apply(&x).unwrap();
+        Setup {
+            x,
+            masked_x,
+            omega,
+            graph,
+        }
+    }
+
+    #[test]
+    fn multiplicative_objective_non_increasing() {
+        // Paper Propositions 5 & 7, smoke version (the full property test
+        // lives in tests/convergence.rs).
+        let s = setup(30, 5, 1);
+        let ctx = UpdateContext {
+            masked_x: &s.masked_x,
+            omega: &s.omega,
+            graph: Some(&s.graph),
+            lambda: 0.1,
+            landmarks: None,
+        };
+        let mut u = positive_uniform_matrix(30, 4, 2);
+        let mut v = positive_uniform_matrix(4, 5, 3);
+        let mut prev = f64::INFINITY;
+        for _ in 0..20 {
+            let r = multiplicative_step(&ctx, &mut u, &mut v).unwrap();
+            let obj =
+                objective_with_reconstruction(&s.x, &s.omega, &r, &u, 0.1, Some(&s.graph))
+                    .unwrap();
+            assert!(obj <= prev + 1e-9, "objective rose: {prev} -> {obj}");
+            prev = obj;
+        }
+    }
+
+    #[test]
+    fn multiplicative_preserves_nonnegativity() {
+        let s = setup(20, 4, 5);
+        let ctx = UpdateContext {
+            masked_x: &s.masked_x,
+            omega: &s.omega,
+            graph: Some(&s.graph),
+            lambda: 0.5,
+            landmarks: None,
+        };
+        let mut u = positive_uniform_matrix(20, 3, 6);
+        let mut v = positive_uniform_matrix(3, 4, 7);
+        for _ in 0..10 {
+            multiplicative_step(&ctx, &mut u, &mut v).unwrap();
+            assert!(u.is_nonnegative(0.0));
+            assert!(v.is_nonnegative(0.0));
+            assert!(u.all_finite());
+            assert!(v.all_finite());
+        }
+    }
+
+    #[test]
+    fn landmarks_stay_fixed_under_both_updaters() {
+        let s = setup(25, 5, 8);
+        let si = s.x.columns(0, 2).unwrap();
+        let lm = Landmarks::compute(&si, 3, 300, 0).unwrap();
+        for gd in [false, true] {
+            let ctx = UpdateContext {
+                masked_x: &s.masked_x,
+                omega: &s.omega,
+                graph: Some(&s.graph),
+                lambda: 0.1,
+                landmarks: Some(&lm),
+            };
+            let mut u = positive_uniform_matrix(25, 3, 9);
+            let mut v = positive_uniform_matrix(3, 5, 10);
+            lm.inject(&mut v).unwrap();
+            for _ in 0..8 {
+                if gd {
+                    gradient_step(&ctx, &mut u, &mut v, 0.01).unwrap();
+                } else {
+                    multiplicative_step(&ctx, &mut u, &mut v).unwrap();
+                }
+                assert!(lm.verify_injected(&v), "landmarks drifted (gd={gd})");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_step_reduces_objective_with_small_lr() {
+        let s = setup(20, 4, 11);
+        let ctx = UpdateContext {
+            masked_x: &s.masked_x,
+            omega: &s.omega,
+            graph: None,
+            lambda: 0.0,
+            landmarks: None,
+        };
+        let mut u = positive_uniform_matrix(20, 3, 12);
+        let mut v = positive_uniform_matrix(3, 4, 13);
+        let r0 = masked_product(&u, &v, &s.omega).unwrap();
+        let before =
+            objective_with_reconstruction(&s.x, &s.omega, &r0, &u, 0.0, None).unwrap();
+        let mut last = before;
+        for _ in 0..50 {
+            let r = gradient_step(&ctx, &mut u, &mut v, 1e-3).unwrap();
+            last = objective_with_reconstruction(&s.x, &s.omega, &r, &u, 0.0, None).unwrap();
+        }
+        assert!(last < before, "GD failed to reduce objective: {before} -> {last}");
+        assert!(u.is_nonnegative(0.0) && v.is_nonnegative(0.0));
+    }
+
+    #[test]
+    fn unobserved_cells_never_influence_updates() {
+        // Two datasets identical on Ω but wildly different on Ψ must
+        // produce identical factor trajectories.
+        let s = setup(15, 4, 14);
+        let mut x2 = s.x.clone();
+        for (i, j) in s.omega.complement().iter_set() {
+            x2.set(i, j, 1e6);
+        }
+        let masked_x2 = s.omega.apply(&x2).unwrap();
+        assert!(masked_x2.approx_eq(&s.masked_x, 0.0));
+
+        let run = |mx: &Matrix| {
+            let ctx = UpdateContext {
+                masked_x: mx,
+                omega: &s.omega,
+                graph: Some(&s.graph),
+                lambda: 0.1,
+                landmarks: None,
+            };
+            let mut u = positive_uniform_matrix(15, 3, 15);
+            let mut v = positive_uniform_matrix(3, 4, 16);
+            for _ in 0..5 {
+                multiplicative_step(&ctx, &mut u, &mut v).unwrap();
+            }
+            (u, v)
+        };
+        let (u1, v1) = run(&s.masked_x);
+        let (u2, v2) = run(&masked_x2);
+        assert!(u1.approx_eq(&u2, 0.0));
+        assert!(v1.approx_eq(&v2, 0.0));
+    }
+
+    #[test]
+    fn zero_lambda_matches_no_graph() {
+        let s = setup(12, 4, 20);
+        let mut u1 = positive_uniform_matrix(12, 2, 21);
+        let mut v1 = positive_uniform_matrix(2, 4, 22);
+        let mut u2 = u1.clone();
+        let mut v2 = v1.clone();
+        let with_graph = UpdateContext {
+            masked_x: &s.masked_x,
+            omega: &s.omega,
+            graph: Some(&s.graph),
+            lambda: 0.0,
+            landmarks: None,
+        };
+        let without = UpdateContext {
+            masked_x: &s.masked_x,
+            omega: &s.omega,
+            graph: None,
+            lambda: 0.0,
+            landmarks: None,
+        };
+        multiplicative_step(&with_graph, &mut u1, &mut v1).unwrap();
+        multiplicative_step(&without, &mut u2, &mut v2).unwrap();
+        assert!(u1.approx_eq(&u2, 0.0));
+        assert!(v1.approx_eq(&v2, 0.0));
+    }
+}

@@ -1,0 +1,95 @@
+//! Heat-kernel vs binary graph weighting through the full fit — the
+//! GNMF-lineage extension (DESIGN.md) must preserve every invariant the
+//! paper proves for the binary graph.
+
+use smfl_core::{fit, SmflConfig};
+use smfl_linalg::random::uniform_matrix;
+use smfl_linalg::{Mask, Matrix};
+use smfl_spatial::GraphWeighting;
+
+fn problem() -> (Matrix, Mask) {
+    let si = uniform_matrix(60, 2, 0.0, 1.0, 1);
+    let x = Matrix::from_fn(60, 5, |i, j| {
+        if j < 2 {
+            si.get(i, j)
+        } else {
+            (0.4 + 0.3 * (5.0 * si.get(i, 0)).sin() * si.get(i, 1)).clamp(0.0, 1.0)
+        }
+    });
+    let mut omega = Mask::full(60, 5);
+    for i in (0..60).step_by(4) {
+        omega.set(i, 2 + (i % 3), false);
+    }
+    (x, omega)
+}
+
+#[test]
+fn heat_kernel_fit_preserves_convergence_invariants() {
+    let (x, omega) = problem();
+    for weighting in [
+        GraphWeighting::Binary,
+        GraphWeighting::HeatKernel { sigma: 0.1 },
+        GraphWeighting::HeatKernel { sigma: 0.5 },
+    ] {
+        let cfg = SmflConfig::smfl(4, 2)
+            .with_weighting(weighting)
+            .with_max_iter(60)
+            .with_tol(0.0);
+        let model = fit(&x, &omega, &cfg).unwrap();
+        assert!(model.u.is_nonnegative(0.0), "{weighting:?}");
+        assert!(model.v.is_nonnegative(0.0), "{weighting:?}");
+        for w in model.objective_history.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-8 * w[0].abs().max(1.0),
+                "{weighting:?}: objective rose {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(model.landmarks.as_ref().unwrap().verify_injected(&model.v));
+    }
+}
+
+#[test]
+fn weighting_changes_the_solution_but_not_wildly() {
+    let (x, omega) = problem();
+    let binary = fit(
+        &x,
+        &omega,
+        &SmflConfig::smf(4, 2).with_max_iter(80),
+    )
+    .unwrap();
+    let heat = fit(
+        &x,
+        &omega,
+        &SmflConfig::smf(4, 2)
+            .with_weighting(GraphWeighting::HeatKernel { sigma: 0.2 })
+            .with_max_iter(80),
+    )
+    .unwrap();
+    // Different graphs, different factors...
+    assert!(!binary.u.approx_eq(&heat.u, 1e-9));
+    // ...but comparable objective quality (same problem family).
+    let (ob, oh) = (
+        binary.final_objective().unwrap(),
+        heat.final_objective().unwrap(),
+    );
+    assert!(ob < oh * 10.0 && oh < ob * 10.0, "binary {ob} vs heat {oh}");
+}
+
+#[test]
+fn very_wide_kernel_approaches_binary_weights() {
+    // sigma >> diameter: all kept edges weigh ~1, so the graphs (and the
+    // deterministic fits) nearly coincide.
+    let (x, omega) = problem();
+    let binary = fit(&x, &omega, &SmflConfig::smf(4, 2).with_max_iter(40)).unwrap();
+    let wide = fit(
+        &x,
+        &omega,
+        &SmflConfig::smf(4, 2)
+            .with_weighting(GraphWeighting::HeatKernel { sigma: 1e6 })
+            .with_max_iter(40),
+    )
+    .unwrap();
+    assert!(binary.u.approx_eq(&wide.u, 1e-6));
+}

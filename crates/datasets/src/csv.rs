@@ -1,0 +1,240 @@
+//! Minimal CSV read/write (std-only) for exporting datasets and
+//! experiment outputs.
+//!
+//! The format is deliberately simple: a header line of column names and
+//! numeric rows. This is enough to round-trip [`Dataset`] matrices and
+//! to feed the figures' plotting scripts; it is *not* a general CSV
+//! parser (no quoting or embedded commas — column names are
+//! identifiers).
+
+use crate::table::Dataset;
+use smfl_linalg::Matrix;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Serializes a header + matrix to CSV text.
+pub fn to_csv_string(columns: &[String], data: &Matrix) -> String {
+    let mut out = String::with_capacity(data.rows() * data.cols() * 12);
+    out.push_str(&columns.join(","));
+    out.push('\n');
+    for i in 0..data.rows() {
+        for (j, v) in data.row(i).iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a dataset's matrix to a CSV file.
+pub fn write_csv(path: &Path, columns: &[String], data: &Matrix) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_csv_string(columns, data).as_bytes())
+}
+
+/// Parses CSV text into `(columns, matrix)`.
+///
+/// # Errors
+/// `io::ErrorKind::InvalidData` on ragged rows or non-numeric cells.
+pub fn from_csv_str(text: &str) -> io::Result<(Vec<String>, Matrix)> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))?;
+    let columns: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let m = columns.len();
+    let mut values = Vec::new();
+    let mut rows = 0usize;
+    for (lineno, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != m {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("row {} has {} cells, expected {m}", lineno + 2, cells.len()),
+            ));
+        }
+        for c in cells {
+            let v: f64 = c.trim().parse().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad number {c:?}: {e}"))
+            })?;
+            values.push(v);
+        }
+        rows += 1;
+    }
+    let matrix = Matrix::from_vec(rows, m, values)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((columns, matrix))
+}
+
+/// Parses CSV text where *empty cells denote missing values*: returns
+/// `(columns, matrix, omega)` with missing cells holding `0.0` and
+/// cleared in `omega` — the input convention of the `smfl` CLI.
+pub fn from_csv_str_with_missing(
+    text: &str,
+) -> io::Result<(Vec<String>, Matrix, smfl_linalg::Mask)> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))?;
+    let columns: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let m = columns.len();
+    let mut values = Vec::new();
+    let mut missing = Vec::new(); // (row, col)
+    let mut rows = 0usize;
+    for (lineno, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != m {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("row {} has {} cells, expected {m}", lineno + 2, cells.len()),
+            ));
+        }
+        for (j, c) in cells.iter().enumerate() {
+            let t = c.trim();
+            if t.is_empty() || t.eq_ignore_ascii_case("nan") || t == "?" {
+                values.push(0.0);
+                missing.push((rows, j));
+            } else {
+                let v: f64 = t.parse().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad number {t:?}: {e}"))
+                })?;
+                values.push(v);
+            }
+        }
+        rows += 1;
+    }
+    let matrix = Matrix::from_vec(rows, m, values)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut omega = smfl_linalg::Mask::full(rows, m);
+    for (i, j) in missing {
+        omega.set(i, j, false);
+    }
+    Ok((columns, matrix, omega))
+}
+
+/// Serializes a matrix to CSV leaving the cells cleared in `omega`
+/// empty — the inverse of [`from_csv_str_with_missing`].
+pub fn to_csv_string_with_missing(
+    columns: &[String],
+    data: &Matrix,
+    omega: &smfl_linalg::Mask,
+) -> String {
+    let mut out = String::with_capacity(data.rows() * data.cols() * 12);
+    out.push_str(&columns.join(","));
+    out.push('\n');
+    for i in 0..data.rows() {
+        for j in 0..data.cols() {
+            if j > 0 {
+                out.push(',');
+            }
+            if omega.get(i, j) {
+                let _ = write!(out, "{}", data.get(i, j));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Reads `(columns, matrix)` from a CSV file.
+pub fn read_csv(path: &Path) -> io::Result<(Vec<String>, Matrix)> {
+    let mut text = String::new();
+    let mut reader = BufReader::new(std::fs::File::open(path)?);
+    let mut line = String::new();
+    while reader.read_line(&mut line)? != 0 {
+        text.push_str(&line);
+        line.clear();
+    }
+    from_csv_str(&text)
+}
+
+/// Exports a [`Dataset`] to CSV (data only; labels/routes are metadata).
+pub fn write_dataset(path: &Path, dataset: &Dataset) -> io::Result<()> {
+    write_csv(path, &dataset.columns, &dataset.data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_string() {
+        let cols = vec!["a".to_string(), "b".to_string()];
+        let m = Matrix::from_vec(2, 2, vec![1.5, -2.0, 0.25, 1e-3]).unwrap();
+        let text = to_csv_string(&cols, &m);
+        let (cols2, m2) = from_csv_str(&text).unwrap();
+        assert_eq!(cols, cols2);
+        assert!(m.approx_eq(&m2, 0.0));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("smfl_csv_test.csv");
+        let cols = vec!["x".to_string(), "y".to_string(), "z".to_string()];
+        let m = smfl_linalg::random::uniform_matrix(20, 3, -1.0, 1.0, 1);
+        write_csv(&path, &cols, &m).unwrap();
+        let (cols2, m2) = read_csv(&path).unwrap();
+        assert_eq!(cols, cols2);
+        assert!(m.approx_eq(&m2, 1e-12));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(from_csv_str("a,b\n1,2\n3\n").is_err());
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(from_csv_str("a,b\n1,banana\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(from_csv_str("").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let (_, m) = from_csv_str("a\n1\n\n2\n").unwrap();
+        assert_eq!(m.shape(), (2, 1));
+    }
+
+    #[test]
+    fn missing_cells_parse_to_cleared_mask() {
+        let (cols, m, omega) = from_csv_str_with_missing("a,b,c\n1,,3\n4,5,nan\n?,8,9\n").unwrap();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(m.shape(), (3, 3));
+        assert!(!omega.get(0, 1));
+        assert!(!omega.get(1, 2));
+        assert!(!omega.get(2, 0));
+        assert_eq!(omega.count(), 6);
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.get(0, 1), 0.0); // placeholder
+    }
+
+    #[test]
+    fn missing_roundtrip() {
+        let text = "x,y\n1,\n,4\n5,6\n";
+        let (cols, m, omega) = from_csv_str_with_missing(text).unwrap();
+        let back = to_csv_string_with_missing(&cols, &m, &omega);
+        let (cols2, m2, omega2) = from_csv_str_with_missing(&back).unwrap();
+        assert_eq!(cols, cols2);
+        assert_eq!(omega, omega2);
+        for (i, j) in omega.iter_set() {
+            assert_eq!(m.get(i, j), m2.get(i, j));
+        }
+    }
+
+    #[test]
+    fn missing_parser_still_rejects_garbage() {
+        assert!(from_csv_str_with_missing("a\nbanana\n").is_err());
+        assert!(from_csv_str_with_missing("a,b\n1\n").is_err());
+        assert!(from_csv_str_with_missing("").is_err());
+    }
+}

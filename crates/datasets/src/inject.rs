@@ -1,0 +1,232 @@
+//! Error injection (paper §IV-A1).
+//!
+//! Two corruption protocols:
+//!
+//! - **Imputation**: "errors are injected artificially by randomly
+//!   removing values from several columns, controlled by missing rate."
+//!   A configurable set of target columns loses cells at `rate`; a
+//!   reserve of complete rows is kept intact ("we first randomly extract
+//!   100 complete tuples ... for a fair comparison" — several baselines
+//!   need complete rows to operate).
+//! - **Repair**: "we inject errors into all columns by randomly
+//!   replacing the original values with other values in the same
+//!   domain, controlled by the error rate."
+
+// Index loops keep row/column bookkeeping explicit alongside `rng` use.
+#![allow(clippy::needless_range_loop)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smfl_linalg::{Mask, Matrix};
+
+/// The outcome of an injection: corrupted data plus cell bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    /// The corrupted matrix. For missing-value injection the removed
+    /// cells hold `0.0` placeholders (models must consult `omega`, never
+    /// the placeholder); for error injection they hold the wrong value.
+    pub corrupted: Matrix,
+    /// Observed/clean cells `Ω`.
+    pub omega: Mask,
+    /// Unobserved/dirty cells `Ψ` (complement of `omega`).
+    pub psi: Mask,
+    /// Row indices of the protected complete-row reserve.
+    pub reserved_rows: Vec<usize>,
+}
+
+/// Removes cells from `target_cols` at probability `rate`, keeping
+/// `reserve_complete` randomly chosen rows fully intact.
+pub fn inject_missing(
+    data: &Matrix,
+    target_cols: &[usize],
+    rate: f64,
+    reserve_complete: usize,
+    seed: u64,
+) -> Injection {
+    let (n, m) = data.shape();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reserved = choose_rows(n, reserve_complete.min(n), &mut rng);
+    let is_reserved = row_flags(n, &reserved);
+
+    let mut omega = Mask::full(n, m);
+    let mut corrupted = data.clone();
+    for i in 0..n {
+        if is_reserved[i] {
+            continue;
+        }
+        for &j in target_cols {
+            if rng.gen::<f64>() < rate {
+                omega.set(i, j, false);
+                corrupted.set(i, j, 0.0);
+            }
+        }
+    }
+    let psi = omega.complement();
+    Injection {
+        corrupted,
+        omega,
+        psi,
+        reserved_rows: reserved,
+    }
+}
+
+/// Replaces cells (all columns) at probability `rate` with a value drawn
+/// from the same column's domain (another row's value), keeping
+/// `reserve_complete` rows intact. The returned `psi` marks the dirty
+/// cells — the ground truth an error detector like Raha would output.
+pub fn inject_errors(
+    data: &Matrix,
+    rate: f64,
+    reserve_complete: usize,
+    seed: u64,
+) -> Injection {
+    let (n, m) = data.shape();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reserved = choose_rows(n, reserve_complete.min(n), &mut rng);
+    let is_reserved = row_flags(n, &reserved);
+
+    let mut psi = Mask::empty(n, m);
+    let mut corrupted = data.clone();
+    for i in 0..n {
+        if is_reserved[i] {
+            continue;
+        }
+        for j in 0..m {
+            if rng.gen::<f64>() < rate {
+                // Draw a replacement from the same column, forced to
+                // differ from the original so every dirty cell is dirty.
+                let donor = rng.gen_range(0..n);
+                let mut value = data.get(donor, j);
+                if (value - data.get(i, j)).abs() < 1e-12 {
+                    value = (data.get(i, j) + 0.37 + 0.13 * rng.gen::<f64>()) % 1.0;
+                }
+                corrupted.set(i, j, value);
+                psi.set(i, j, true);
+            }
+        }
+    }
+    let omega = psi.complement();
+    Injection {
+        corrupted,
+        omega,
+        psi,
+        reserved_rows: reserved,
+    }
+}
+
+fn choose_rows(n: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..count.min(n) {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    let mut chosen: Vec<usize> = idx.into_iter().take(count).collect();
+    chosen.sort_unstable();
+    chosen
+}
+
+fn row_flags(n: usize, rows: &[usize]) -> Vec<bool> {
+    let mut flags = vec![false; n];
+    for &r in rows {
+        flags[r] = true;
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smfl_linalg::random::uniform_matrix;
+
+    #[test]
+    fn missing_rate_is_roughly_respected() {
+        let data = uniform_matrix(1000, 6, 0.0, 1.0, 1);
+        let inj = inject_missing(&data, &[2, 3, 4, 5], 0.2, 0, 2);
+        let expected = 1000.0 * 4.0 * 0.2;
+        let actual = inj.psi.count() as f64;
+        assert!((actual - expected).abs() < expected * 0.2, "count {actual}");
+    }
+
+    #[test]
+    fn only_target_columns_lose_cells() {
+        let data = uniform_matrix(200, 5, 0.0, 1.0, 3);
+        let inj = inject_missing(&data, &[3, 4], 0.5, 0, 4);
+        for (_, j) in inj.psi.iter_set() {
+            assert!(j == 3 || j == 4);
+        }
+    }
+
+    #[test]
+    fn reserved_rows_stay_complete() {
+        let data = uniform_matrix(100, 5, 0.0, 1.0, 5);
+        let inj = inject_missing(&data, &[2, 3, 4], 0.9, 20, 6);
+        assert_eq!(inj.reserved_rows.len(), 20);
+        for &r in &inj.reserved_rows {
+            assert!(inj.omega.row_is_full(r), "reserved row {r} corrupted");
+        }
+    }
+
+    #[test]
+    fn omega_and_psi_partition() {
+        let data = uniform_matrix(50, 4, 0.0, 1.0, 7);
+        let inj = inject_missing(&data, &[2, 3], 0.3, 5, 8);
+        assert_eq!(inj.omega.count() + inj.psi.count(), 50 * 4);
+        assert_eq!(inj.omega.and(&inj.psi).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn observed_cells_untouched_by_missing_injection() {
+        let data = uniform_matrix(80, 4, 0.0, 1.0, 9);
+        let inj = inject_missing(&data, &[2, 3], 0.4, 0, 10);
+        for (i, j) in inj.omega.iter_set() {
+            assert_eq!(inj.corrupted.get(i, j), data.get(i, j));
+        }
+    }
+
+    #[test]
+    fn error_injection_changes_exactly_psi() {
+        let data = uniform_matrix(300, 5, 0.0, 1.0, 11);
+        let inj = inject_errors(&data, 0.1, 0, 12);
+        for i in 0..300 {
+            for j in 0..5 {
+                let changed = inj.corrupted.get(i, j) != data.get(i, j);
+                assert_eq!(changed, inj.psi.get(i, j), "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn error_values_stay_in_unit_domain() {
+        let data = uniform_matrix(200, 4, 0.0, 1.0, 13);
+        let inj = inject_errors(&data, 0.3, 0, 14);
+        assert!(inj.corrupted.min().unwrap() >= 0.0);
+        assert!(inj.corrupted.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn injections_are_deterministic() {
+        let data = uniform_matrix(100, 4, 0.0, 1.0, 15);
+        let a = inject_missing(&data, &[2, 3], 0.2, 10, 16);
+        let b = inject_missing(&data, &[2, 3], 0.2, 10, 16);
+        assert_eq!(a.omega, b.omega);
+        assert!(a.corrupted.approx_eq(&b.corrupted, 0.0));
+    }
+
+    #[test]
+    fn zero_rate_is_noop() {
+        let data = uniform_matrix(50, 4, 0.0, 1.0, 17);
+        let inj = inject_missing(&data, &[2, 3], 0.0, 0, 18);
+        assert_eq!(inj.psi.count(), 0);
+        assert!(inj.corrupted.approx_eq(&data, 0.0));
+        let inj2 = inject_errors(&data, 0.0, 0, 19);
+        assert_eq!(inj2.psi.count(), 0);
+    }
+
+    #[test]
+    fn reserve_larger_than_n_is_clamped() {
+        let data = uniform_matrix(10, 3, 0.0, 1.0, 20);
+        let inj = inject_missing(&data, &[2], 0.5, 100, 21);
+        assert_eq!(inj.reserved_rows.len(), 10);
+        assert_eq!(inj.psi.count(), 0); // everything reserved
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the dataset generators and corruption
+//! protocols: normalization bounds, injection bookkeeping, determinism
+//! and schema stability across the parameter space.
+
+use proptest::prelude::*;
+use smfl_datasets::generate::{spatial_dataset, GeneratorConfig};
+use smfl_datasets::{inject_errors, inject_missing};
+
+fn generated(n: usize, attrs: usize, blobs: usize, seed: u64) -> smfl_datasets::Dataset {
+    let mut cfg = GeneratorConfig::new(n, attrs, seed);
+    cfg.blobs = blobs;
+    let cols: Vec<String> = (0..attrs + 2).map(|i| format!("c{i}")).collect();
+    spatial_dataset("prop", cols, &cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_data_is_normalized_and_valid(
+        n in 20usize..200,
+        attrs in 1usize..8,
+        blobs in 2usize..7,
+        seed in 0u64..5000,
+    ) {
+        let d = generated(n, attrs, blobs, seed);
+        prop_assert!(d.validate());
+        prop_assert_eq!(d.n(), n);
+        prop_assert_eq!(d.m(), attrs + 2);
+        prop_assert!(d.data.min().unwrap() >= 0.0);
+        prop_assert!(d.data.max().unwrap() <= 1.0);
+        prop_assert!(d.data.all_finite());
+        let labels = d.cluster_labels.as_ref().unwrap();
+        prop_assert!(labels.iter().all(|&l| l < blobs));
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic(
+        n in 20usize..100,
+        seed in 0u64..5000,
+    ) {
+        let a = generated(n, 3, 4, seed);
+        let b = generated(n, 3, 4, seed);
+        prop_assert!(a.data.approx_eq(&b.data, 0.0));
+        prop_assert_eq!(a.cluster_labels, b.cluster_labels);
+    }
+
+    #[test]
+    fn missing_injection_bookkeeping_is_exact(
+        n in 20usize..150,
+        rate in 0.0f64..0.8,
+        reserve in 0usize..30,
+        seed in 0u64..5000,
+    ) {
+        let d = generated(n, 4, 3, seed);
+        let targets = d.attribute_cols();
+        let inj = inject_missing(&d.data, &targets, rate, reserve, seed);
+        // Ω and Ψ partition the grid.
+        prop_assert_eq!(inj.omega.count() + inj.psi.count(), n * d.m());
+        prop_assert_eq!(inj.omega.and(&inj.psi).unwrap().count(), 0);
+        // Spatial columns never lose cells under AttributesOnly targeting.
+        for (_, j) in inj.psi.iter_set() {
+            prop_assert!(j >= d.spatial_cols);
+        }
+        // Reserved rows stay complete.
+        for &r in &inj.reserved_rows {
+            prop_assert!(inj.omega.row_is_full(r));
+        }
+        // Observed cells carry the original values.
+        for (i, j) in inj.omega.iter_set() {
+            prop_assert_eq!(inj.corrupted.get(i, j), d.data.get(i, j));
+        }
+    }
+
+    #[test]
+    fn error_injection_marks_exactly_the_changed_cells(
+        n in 20usize..120,
+        rate in 0.0f64..0.5,
+        seed in 0u64..5000,
+    ) {
+        let d = generated(n, 3, 3, seed);
+        let inj = inject_errors(&d.data, rate, 10, seed);
+        for i in 0..n {
+            for j in 0..d.m() {
+                let changed = inj.corrupted.get(i, j) != d.data.get(i, j);
+                prop_assert_eq!(changed, inj.psi.get(i, j));
+            }
+        }
+        // corrupted values stay in the normalized domain
+        prop_assert!(inj.corrupted.min().unwrap() >= 0.0);
+        prop_assert!(inj.corrupted.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn missing_rate_statistics_track_the_request(
+        rate in 0.05f64..0.6,
+        seed in 0u64..5000,
+    ) {
+        let d = generated(400, 5, 4, seed);
+        let targets = d.attribute_cols();
+        let inj = inject_missing(&d.data, &targets, rate, 0, seed);
+        let expected = 400.0 * targets.len() as f64 * rate;
+        let actual = inj.psi.count() as f64;
+        // 5-sigma-ish binomial tolerance
+        let tol = 5.0 * (expected.max(1.0)).sqrt() + 5.0;
+        prop_assert!(
+            (actual - expected).abs() < tol,
+            "expected ~{expected}, got {actual}"
+        );
+    }
+}

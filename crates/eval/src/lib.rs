@@ -1,0 +1,32 @@
+//! # smfl-eval
+//!
+//! Evaluation criteria for the SMFL reproduction, matching the paper's
+//! §IV-A2 and application sections:
+//!
+//! - [`rms::rms_over`] — RMS error over the corrupted cell set `Ψ`
+//!   (the number in Tables IV–VII and Figs. 6–8);
+//! - [`clustering::clustering_accuracy`] — permutation-optimal cluster
+//!   accuracy via the Kuhn–Munkres algorithm (Fig. 4b);
+//! - [`route::route_fuel_error`] — accumulated fuel-consumption error
+//!   over vehicle routes (Fig. 4a);
+//! - [`timing`] — repeated-run wall-clock helpers (Fig. 9);
+//! - [`nmi`] — normalized mutual information (clustering companion
+//!   metric from the GNMF literature);
+//! - [`planner`] — grid Dijkstra route planner over a fuel map (the
+//!   paper's §I logistics application, made runnable).
+
+#![warn(missing_docs)]
+
+pub mod clustering;
+pub mod nmi;
+pub mod planner;
+pub mod rms;
+pub mod route;
+pub mod timing;
+
+pub use clustering::{clustering_accuracy, hungarian_min};
+pub use nmi::normalized_mutual_information;
+pub use planner::{plan_route, route_cost_under, FuelGrid, PlannedRoute};
+pub use rms::{mae_over, rms_over};
+pub use route::{route_fuel, route_fuel_error};
+pub use timing::{time_runs, Timing};

@@ -1,0 +1,114 @@
+//! Normalized mutual information (NMI) between two labelings — a
+//! permutation-free companion to the Kuhn–Munkres accuracy of
+//! [`crate::clustering`], standard in the NMF-clustering literature the
+//! paper builds on (Cai et al. [9] report both).
+
+/// NMI in `[0, 1]`: 1 for identical partitions (up to relabeling),
+/// ~0 for independent ones. Returns 0 for empty input.
+pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "label slices must align");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ka = a.iter().max().map_or(0, |m| m + 1);
+    let kb = b.iter().max().map_or(0, |m| m + 1);
+    let mut joint = vec![vec![0.0f64; kb]; ka];
+    let mut pa = vec![0.0f64; ka];
+    let mut pb = vec![0.0f64; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x][y] += 1.0;
+        pa[x] += 1.0;
+        pb[y] += 1.0;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for (x, row) in joint.iter().enumerate() {
+        for (y, &c) in row.iter().enumerate() {
+            if c > 0.0 {
+                let pxy = c / nf;
+                mi += pxy * (pxy * nf * nf / (pa[x] * pb[y])).ln();
+            }
+        }
+    }
+    let entropy = |p: &[f64]| -> f64 {
+        p.iter()
+            .filter(|&&c| c > 0.0)
+            .map(|&c| {
+                let q = c / nf;
+                -q * q.ln()
+            })
+            .sum()
+    };
+    let (ha, hb) = (entropy(&pa), entropy(&pb));
+    let denom = (ha * hb).sqrt();
+    if denom <= 0.0 {
+        // One side is a single cluster: NMI is 1 only if both are.
+        if ha == 0.0 && hb == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        assert!((normalized_mutual_information(&labels, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeled_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_low() {
+        // b splits each a-cluster evenly: knowing b says little about a.
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi < 0.05, "nmi {nmi}");
+    }
+
+    #[test]
+    fn partial_agreement_is_between() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1];
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi > 0.1 && nmi < 0.9, "nmi {nmi}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = vec![0, 1, 0, 2, 1, 2, 0];
+        let b = vec![1, 1, 0, 2, 2, 2, 0];
+        let ab = normalized_mutual_information(&a, &b);
+        let ba = normalized_mutual_information(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(normalized_mutual_information(&[], &[]), 0.0);
+        // both single-cluster
+        assert_eq!(normalized_mutual_information(&[0, 0], &[0, 0]), 1.0);
+        // one single-cluster, one split
+        assert_eq!(normalized_mutual_information(&[0, 0], &[0, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label slices must align")]
+    fn mismatched_lengths_panic() {
+        normalized_mutual_information(&[0], &[0, 1]);
+    }
+}

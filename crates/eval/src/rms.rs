@@ -1,0 +1,112 @@
+//! The paper's accuracy criterion (§IV-A2):
+//!
+//! `RMS = sqrt( ‖R_Ψ(X* − X#)‖_F² / |Ψ| )`
+//!
+//! — root-mean-square error between imputed/repaired values and ground
+//! truth, evaluated only over the corrupted cells `Ψ`.
+
+use smfl_linalg::{LinalgError, Mask, Matrix, Result};
+
+/// RMS error over the cells of `psi`.
+///
+/// # Errors
+/// Shape mismatch, or [`LinalgError::Empty`] when `psi` selects no cells
+/// (an RMS over nothing is undefined).
+pub fn rms_over(imputed: &Matrix, truth: &Matrix, psi: &Mask) -> Result<f64> {
+    if imputed.shape() != truth.shape() || imputed.shape() != psi.shape() {
+        return Err(LinalgError::DimensionMismatch {
+            left: imputed.shape(),
+            right: truth.shape(),
+            op: "rms_over",
+        });
+    }
+    let count = psi.count();
+    if count == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let mut acc = 0.0;
+    for (i, j) in psi.iter_set() {
+        let d = imputed.get(i, j) - truth.get(i, j);
+        acc += d * d;
+    }
+    Ok((acc / count as f64).sqrt())
+}
+
+/// Mean absolute error over the cells of `psi` (a secondary criterion
+/// used in some imputation literature; handy for sanity checks).
+pub fn mae_over(imputed: &Matrix, truth: &Matrix, psi: &Mask) -> Result<f64> {
+    if imputed.shape() != truth.shape() || imputed.shape() != psi.shape() {
+        return Err(LinalgError::DimensionMismatch {
+            left: imputed.shape(),
+            right: truth.shape(),
+            op: "mae_over",
+        });
+    }
+    let count = psi.count();
+    if count == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let mut acc = 0.0;
+    for (i, j) in psi.iter_set() {
+        acc += (imputed.get(i, j) - truth.get(i, j)).abs();
+    }
+    Ok(acc / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_imputation_has_zero_rms() {
+        let truth = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let psi = Mask::from_positions(2, 2, &[(0, 1), (1, 0)]).unwrap();
+        assert_eq!(rms_over(&truth, &truth, &psi).unwrap(), 0.0);
+        assert_eq!(mae_over(&truth, &truth, &psi).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rms_counts_only_psi_cells() {
+        let truth = Matrix::zeros(2, 2);
+        let mut imputed = Matrix::zeros(2, 2);
+        imputed.set(0, 0, 100.0); // not in psi: ignored
+        imputed.set(0, 1, 3.0); // in psi
+        let psi = Mask::from_positions(2, 2, &[(0, 1)]).unwrap();
+        assert_eq!(rms_over(&imputed, &truth, &psi).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn rms_known_value() {
+        let truth = Matrix::zeros(1, 2);
+        let imputed = Matrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        let psi = Mask::full(1, 2);
+        // sqrt((9 + 16)/2) = sqrt(12.5)
+        assert!((rms_over(&imputed, &truth, &psi).unwrap() - 12.5f64.sqrt()).abs() < 1e-12);
+        assert!((mae_over(&imputed, &truth, &psi).unwrap() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_psi_is_error() {
+        let m = Matrix::zeros(2, 2);
+        assert!(rms_over(&m, &m, &Mask::empty(2, 2)).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(3, 2);
+        assert!(rms_over(&a, &b, &Mask::full(2, 2)).is_err());
+        assert!(mae_over(&a, &a, &Mask::full(3, 2)).is_err());
+    }
+
+    #[test]
+    fn mae_bounded_by_rms() {
+        // Jensen: MAE <= RMS always.
+        let truth = smfl_linalg::random::uniform_matrix(10, 4, 0.0, 1.0, 1);
+        let imputed = smfl_linalg::random::uniform_matrix(10, 4, 0.0, 1.0, 2);
+        let psi = Mask::full(10, 4);
+        let rms = rms_over(&imputed, &truth, &psi).unwrap();
+        let mae = mae_over(&imputed, &truth, &psi).unwrap();
+        assert!(mae <= rms + 1e-12);
+    }
+}

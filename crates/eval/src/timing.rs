@@ -1,0 +1,98 @@
+//! Wall-clock timing helpers for the efficiency experiments (paper
+//! §IV-E / Fig. 9).
+//!
+//! Criterion handles the micro-benchmarks; these helpers serve the
+//! table-style experiment binaries, which need simple repeated-run
+//! medians without a statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Result of a repeated timing run.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Individual run durations.
+    pub runs: Vec<Duration>,
+}
+
+impl Timing {
+    /// Median duration (runs are sorted internally).
+    pub fn median(&self) -> Duration {
+        let mut sorted = self.runs.clone();
+        sorted.sort();
+        sorted[sorted.len() / 2]
+    }
+
+    /// Mean duration.
+    pub fn mean(&self) -> Duration {
+        let total: Duration = self.runs.iter().sum();
+        total / self.runs.len() as u32
+    }
+
+    /// Fastest run.
+    pub fn min(&self) -> Duration {
+        *self.runs.iter().min().expect("at least one run")
+    }
+
+    /// Median in fractional seconds (for table printing).
+    pub fn median_secs(&self) -> f64 {
+        self.median().as_secs_f64()
+    }
+}
+
+/// Times `f` over `runs` repetitions (at least one) and returns the
+/// per-run durations. The closure's result is returned from the last
+/// run so the work cannot be optimized away.
+pub fn time_runs<T>(runs: usize, mut f: impl FnMut() -> T) -> (Timing, T) {
+    let runs = runs.max(1);
+    let mut durations = Vec::with_capacity(runs);
+    let mut result = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let value = f();
+        durations.push(start.elapsed());
+        result = Some(value);
+    }
+    (
+        Timing { runs: durations },
+        result.expect("runs >= 1 guarantees a result"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_closure_value_and_run_count() {
+        let (t, v) = time_runs(3, || 2 + 2);
+        assert_eq!(v, 4);
+        assert_eq!(t.runs.len(), 3);
+    }
+
+    #[test]
+    fn zero_runs_clamped_to_one() {
+        let (t, _) = time_runs(0, || ());
+        assert_eq!(t.runs.len(), 1);
+    }
+
+    #[test]
+    fn median_mean_min_consistent() {
+        let t = Timing {
+            runs: vec![
+                Duration::from_millis(30),
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+            ],
+        };
+        assert_eq!(t.median(), Duration::from_millis(20));
+        assert_eq!(t.mean(), Duration::from_millis(20));
+        assert_eq!(t.min(), Duration::from_millis(10));
+        assert!((t.median_secs() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timing_measures_real_work() {
+        let (t, _) = time_runs(1, || std::thread::sleep(Duration::from_millis(5)));
+        assert!(t.min() >= Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,130 @@
+//! Error types for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by fallible linear-algebra operations.
+///
+/// All shape-sensitive public operations return `Result<_, LinalgError>`
+/// rather than panicking, so callers composing pipelines (e.g. the SMFL
+/// updater) can surface configuration mistakes as recoverable errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. Holds `(left, right)` shapes
+    /// as `(rows, cols)` pairs.
+    DimensionMismatch {
+        /// Shape of the left-hand operand.
+        left: (usize, usize),
+        /// Shape of the right-hand operand.
+        right: (usize, usize),
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A matrix that was required to be square was not.
+    NotSquare {
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// An index was out of bounds for the given shape.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: (usize, usize),
+        /// Shape of the matrix.
+        shape: (usize, usize),
+    },
+    /// An iterative routine (eigensolver, SVD) failed to converge.
+    NoConvergence {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Number of sweeps/iterations performed.
+        iterations: usize,
+    },
+    /// Input data length did not match the requested shape.
+    BadLength {
+        /// Expected number of elements.
+        expected: usize,
+        /// Actual number of elements.
+        actual: usize,
+    },
+    /// An empty matrix was passed to an operation that requires data.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { left, right, op } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            LinalgError::NoConvergence { routine, iterations } => {
+                write!(f, "{routine} failed to converge after {iterations} iterations")
+            }
+            LinalgError::BadLength { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+            LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "matmul",
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in matmul: left is 2x3, right is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = LinalgError::NotSquare { shape: (2, 3) };
+        assert_eq!(e.to_string(), "matrix must be square, got 2x3");
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = LinalgError::NoConvergence {
+            routine: "jacobi",
+            iterations: 50,
+        };
+        assert_eq!(e.to_string(), "jacobi failed to converge after 50 iterations");
+    }
+
+    #[test]
+    fn display_bad_length_and_empty() {
+        assert_eq!(
+            LinalgError::BadLength { expected: 6, actual: 5 }.to_string(),
+            "expected 6 elements, got 5"
+        );
+        assert_eq!(LinalgError::Empty.to_string(), "operation requires a non-empty matrix");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&LinalgError::Empty);
+    }
+}

@@ -1,0 +1,417 @@
+//! Observation masks — the `Ω` / `Ψ` machinery of the paper.
+//!
+//! The paper masks the reconstruction error with
+//! `R_Ω(X)_ij = x_ij if (i,j) ∈ Ω else 0` (its Section II-A). A [`Mask`]
+//! is a bitset over the `N x M` cell grid: bit set ⇒ the cell is in the
+//! mask. `Ω` (observed cells) and `Ψ` (unobserved / dirty cells) are both
+//! represented by this type; [`Mask::complement`] converts between them.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::ops::{matmul, matmul_bt};
+
+/// Bitset over the cells of an `N x M` matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    rows: usize,
+    cols: usize,
+    words: Vec<u64>,
+}
+
+impl Mask {
+    /// All-clear mask (no cell set).
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        let nbits = rows * cols;
+        Mask {
+            rows,
+            cols,
+            words: vec![0; nbits.div_ceil(64)],
+        }
+    }
+
+    /// All-set mask (every cell observed).
+    pub fn full(rows: usize, cols: usize) -> Self {
+        let mut m = Mask::empty(rows, cols);
+        for w in &mut m.words {
+            *w = u64::MAX;
+        }
+        m.clear_tail();
+        m
+    }
+
+    /// Builds a mask from explicit `(row, col)` positions.
+    pub fn from_positions(rows: usize, cols: usize, positions: &[(usize, usize)]) -> Result<Self> {
+        let mut m = Mask::empty(rows, cols);
+        for &(i, j) in positions {
+            if i >= rows || j >= cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: (i, j),
+                    shape: (rows, cols),
+                });
+            }
+            m.set(i, j, true);
+        }
+        Ok(m)
+    }
+
+    /// Number of rows of the underlying grid.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the underlying grid.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` of the underlying grid.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether cell `(i, j)` is set.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.rows && j < self.cols);
+        let bit = i * self.cols + j;
+        self.words[bit / 64] >> (bit % 64) & 1 == 1
+    }
+
+    /// Sets or clears cell `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        debug_assert!(i < self.rows && j < self.cols);
+        let bit = i * self.cols + j;
+        if value {
+            self.words[bit / 64] |= 1 << (bit % 64);
+        } else {
+            self.words[bit / 64] &= !(1 << (bit % 64));
+        }
+    }
+
+    /// Number of set cells.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of set cells in `[0, 1]`; 0 for an empty grid.
+    pub fn density(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.count() as f64 / total as f64
+        }
+    }
+
+    /// The complement mask (`Ψ` from `Ω` and vice versa).
+    pub fn complement(&self) -> Mask {
+        let mut m = Mask {
+            rows: self.rows,
+            cols: self.cols,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        m.clear_tail();
+        m
+    }
+
+    /// Intersection of two same-shaped masks.
+    pub fn and(&self, other: &Mask) -> Result<Mask> {
+        self.check_shape(other)?;
+        Ok(Mask {
+            rows: self.rows,
+            cols: self.cols,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        })
+    }
+
+    /// Union of two same-shaped masks.
+    pub fn or(&self, other: &Mask) -> Result<Mask> {
+        self.check_shape(other)?;
+        Ok(Mask {
+            rows: self.rows,
+            cols: self.cols,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        })
+    }
+
+    /// Iterator over set positions in row-major order.
+    pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cols = self.cols;
+        (0..self.rows * self.cols)
+            .filter(move |&bit| self.words[bit / 64] >> (bit % 64) & 1 == 1)
+            .map(move |bit| (bit / cols, bit % cols))
+    }
+
+    /// Set columns of row `i`, collected into a vector.
+    pub fn row_set_cols(&self, i: usize) -> Vec<usize> {
+        (0..self.cols).filter(|&j| self.get(i, j)).collect()
+    }
+
+    /// `true` when every cell of row `i` is set.
+    pub fn row_is_full(&self, i: usize) -> bool {
+        (0..self.cols).all(|j| self.get(i, j))
+    }
+
+    /// Applies the mask to `x`: `R_Ω(X)` — keeps masked cells, zeroes the
+    /// rest. Errors on shape mismatch.
+    pub fn apply(&self, x: &Matrix) -> Result<Matrix> {
+        if x.shape() != self.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                left: x.shape(),
+                right: self.shape(),
+                op: "mask_apply",
+            });
+        }
+        let mut out = x.clone();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if !self.get(i, j) {
+                    out.set(i, j, 0.0);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Blends two matrices: masked cells from `a`, the rest from `b`
+    /// (the paper's Formula 8, `X̂ ← R_Ω(X) + R_Ψ(X*)` with `self = Ω`,
+    /// `a = X`, `b = X*`).
+    pub fn blend(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        if a.shape() != self.shape() || b.shape() != self.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                left: a.shape(),
+                right: b.shape(),
+                op: "mask_blend",
+            });
+        }
+        let mut out = b.clone();
+        for (i, j) in self.iter_set() {
+            out.set(i, j, a.get(i, j));
+        }
+        Ok(out)
+    }
+
+    fn check_shape(&self, other: &Mask) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "mask_combine",
+            });
+        }
+        Ok(())
+    }
+
+    /// Zeroes bits beyond `rows*cols` in the last word so `count` and
+    /// `complement` stay exact.
+    fn clear_tail(&mut self) {
+        let nbits = self.rows * self.cols;
+        let rem = nbits % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+/// `R_Ω(U·V)`: the product `U·V` evaluated only on the cells of `mask`,
+/// zero elsewhere.
+///
+/// When the mask is dense (> 50% set) the full product is cheaper; when
+/// sparse, only the observed dot products are computed
+/// (`|Ω| · K` work instead of `N·M·K`).
+pub fn masked_product(u: &Matrix, v: &Matrix, mask: &Mask) -> Result<Matrix> {
+    if u.cols() != v.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            left: u.shape(),
+            right: v.shape(),
+            op: "masked_product",
+        });
+    }
+    if mask.shape() != (u.rows(), v.cols()) {
+        return Err(LinalgError::DimensionMismatch {
+            left: (u.rows(), v.cols()),
+            right: mask.shape(),
+            op: "masked_product",
+        });
+    }
+    if mask.density() > 0.5 {
+        let full = matmul(u, v)?;
+        mask.apply(&full)
+    } else {
+        let vt = v.transpose();
+        let mut out = Matrix::zeros(u.rows(), v.cols());
+        for (i, j) in mask.iter_set() {
+            out.set(i, j, crate::ops::dot(u.row(i), vt.row(j)));
+        }
+        Ok(out)
+    }
+}
+
+/// `||R_mask(X − P)||_F²`: the masked squared reconstruction error — the
+/// first term of the paper's objective (Formula 10).
+pub fn masked_diff_norm_sq(x: &Matrix, p: &Matrix, mask: &Mask) -> Result<f64> {
+    if x.shape() != p.shape() || x.shape() != mask.shape() {
+        return Err(LinalgError::DimensionMismatch {
+            left: x.shape(),
+            right: p.shape(),
+            op: "masked_diff_norm_sq",
+        });
+    }
+    let mut acc = 0.0;
+    for (i, j) in mask.iter_set() {
+        let d = x.get(i, j) - p.get(i, j);
+        acc += d * d;
+    }
+    Ok(acc)
+}
+
+/// `R_Ω(X)·Vᵀ` without materializing `R_Ω(X)` when the mask is dense.
+pub fn masked_x_vt(x: &Matrix, v: &Matrix, mask: &Mask) -> Result<Matrix> {
+    let mx = mask.apply(x)?;
+    matmul_bt(&mx, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full_counts() {
+        assert_eq!(Mask::empty(3, 5).count(), 0);
+        assert_eq!(Mask::full(3, 5).count(), 15);
+        assert_eq!(Mask::full(0, 0).count(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = Mask::empty(4, 4);
+        m.set(2, 3, true);
+        assert!(m.get(2, 3));
+        assert!(!m.get(3, 2));
+        m.set(2, 3, false);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn tail_bits_do_not_leak() {
+        // 3x5 = 15 bits < 64; complement must not count phantom bits.
+        let m = Mask::empty(3, 5);
+        assert_eq!(m.complement().count(), 15);
+        let f = Mask::full(10, 13); // 130 bits, 2 words + tail
+        assert_eq!(f.count(), 130);
+        assert_eq!(f.complement().count(), 0);
+    }
+
+    #[test]
+    fn from_positions_and_iter() {
+        let m = Mask::from_positions(3, 3, &[(0, 1), (2, 2)]).unwrap();
+        let set: Vec<_> = m.iter_set().collect();
+        assert_eq!(set, vec![(0, 1), (2, 2)]);
+        assert!(Mask::from_positions(2, 2, &[(2, 0)]).is_err());
+    }
+
+    #[test]
+    fn density_and_complement_partition() {
+        let m = Mask::from_positions(2, 2, &[(0, 0)]).unwrap();
+        assert!((m.density() - 0.25).abs() < 1e-12);
+        let c = m.complement();
+        assert_eq!(c.count(), 3);
+        assert_eq!(m.and(&c).unwrap().count(), 0);
+        assert_eq!(m.or(&c).unwrap().count(), 4);
+    }
+
+    #[test]
+    fn combine_shape_mismatch() {
+        let a = Mask::empty(2, 2);
+        let b = Mask::empty(3, 2);
+        assert!(a.and(&b).is_err());
+        assert!(a.or(&b).is_err());
+    }
+
+    #[test]
+    fn row_helpers() {
+        let m = Mask::from_positions(2, 3, &[(0, 0), (0, 1), (0, 2), (1, 1)]).unwrap();
+        assert!(m.row_is_full(0));
+        assert!(!m.row_is_full(1));
+        assert_eq!(m.row_set_cols(1), vec![1]);
+    }
+
+    #[test]
+    fn apply_zeroes_unmasked() {
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let m = Mask::from_positions(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let r = m.apply(&x).unwrap();
+        assert_eq!(r.as_slice(), &[1.0, 0.0, 0.0, 4.0]);
+        assert!(m.apply(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn blend_implements_formula_8() {
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let xstar = Matrix::from_vec(2, 2, vec![9.0, 9.0, 9.0, 9.0]).unwrap();
+        let omega = Mask::from_positions(2, 2, &[(0, 0)]).unwrap();
+        let blended = omega.blend(&x, &xstar).unwrap();
+        assert_eq!(blended.as_slice(), &[1.0, 9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn masked_product_sparse_equals_dense_path() {
+        let u = Matrix::from_fn(6, 3, |i, j| (i + j) as f64 * 0.3);
+        let v = Matrix::from_fn(3, 5, |i, j| (2 * i + j) as f64 * 0.2);
+        // sparse mask (4/30 cells)
+        let sparse = Mask::from_positions(6, 5, &[(0, 0), (3, 2), (5, 4), (2, 1)]).unwrap();
+        let via_sparse = masked_product(&u, &v, &sparse).unwrap();
+        let full = matmul(&u, &v).unwrap();
+        let expected = sparse.apply(&full).unwrap();
+        assert!(via_sparse.approx_eq(&expected, 1e-12));
+        // dense mask exercises the other branch
+        let dense = Mask::full(6, 5);
+        let via_dense = masked_product(&u, &v, &dense).unwrap();
+        assert!(via_dense.approx_eq(&full, 1e-12));
+    }
+
+    #[test]
+    fn masked_product_shape_errors() {
+        let u = Matrix::zeros(2, 3);
+        let v = Matrix::zeros(4, 2);
+        assert!(masked_product(&u, &v, &Mask::full(2, 2)).is_err());
+        let v_ok = Matrix::zeros(3, 2);
+        assert!(masked_product(&u, &v_ok, &Mask::full(9, 9)).is_err());
+    }
+
+    #[test]
+    fn masked_diff_norm_counts_only_masked() {
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let p = Matrix::zeros(2, 2);
+        let m = Mask::from_positions(2, 2, &[(0, 1), (1, 0)]).unwrap();
+        let e = masked_diff_norm_sq(&x, &p, &m).unwrap();
+        assert!((e - (4.0 + 9.0)).abs() < 1e-12);
+        assert!(masked_diff_norm_sq(&x, &Matrix::zeros(1, 1), &m).is_err());
+    }
+
+    #[test]
+    fn masked_x_vt_matches_manual() {
+        let x = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let v = Matrix::from_fn(2, 3, |i, j| (i + j) as f64);
+        let m = Mask::from_positions(4, 3, &[(0, 0), (1, 1), (3, 2)]).unwrap();
+        let got = masked_x_vt(&x, &v, &m).unwrap();
+        let expected = matmul(&m.apply(&x).unwrap(), &v.transpose()).unwrap();
+        assert!(got.approx_eq(&expected, 1e-12));
+    }
+}

@@ -1,0 +1,106 @@
+//! Seeded random matrix initialization.
+//!
+//! Every stochastic component in the reproduction takes an explicit
+//! `u64` seed (DESIGN.md §6), so experiments are exactly repeatable and
+//! the paper's "run five times, report the mean" protocol can use seeds
+//! `0..5`.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A `rows x cols` matrix with entries uniform in `[low, high)`.
+pub fn uniform_matrix(rows: usize, cols: usize, low: f64, high: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(low..high))
+}
+
+/// A `rows x cols` matrix with entries uniform in `(0, 1]` — strictly
+/// positive, as required for multiplicative-update initializations
+/// (a zero entry would stay zero forever under Lee–Seung updates).
+pub fn positive_uniform_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| 1.0 - rng.gen::<f64>().min(1.0 - 1e-9))
+}
+
+/// A `rows x cols` matrix with standard-normal entries (Box–Muller).
+pub fn normal_matrix(rows: usize, cols: usize, mean: f64, std: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next = move || {
+        // Box-Muller transform from two uniforms.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    Matrix::from_fn(rows, cols, |_, _| mean + std * next())
+}
+
+/// Fisher–Yates shuffled index permutation of `0..n`.
+pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_seed_deterministic() {
+        let a = uniform_matrix(4, 4, 0.0, 1.0, 42);
+        let b = uniform_matrix(4, 4, 0.0, 1.0, 42);
+        let c = uniform_matrix(4, 4, 0.0, 1.0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = uniform_matrix(20, 20, -2.0, 3.0, 7);
+        assert!(m.min().unwrap() >= -2.0);
+        assert!(m.max().unwrap() < 3.0);
+    }
+
+    #[test]
+    fn positive_uniform_is_strictly_positive() {
+        let m = positive_uniform_matrix(30, 30, 11);
+        assert!(m.min().unwrap() > 0.0);
+        assert!(m.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let m = normal_matrix(100, 100, 2.0, 0.5, 5);
+        let mean = m.mean().unwrap();
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / 10_000.0;
+        assert!((var.sqrt() - 0.5).abs() < 0.05);
+        assert!(m.all_finite());
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = permutation(100, 3);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(p, (0..100).collect::<Vec<_>>(), "should shuffle");
+        assert_eq!(p, permutation(100, 3));
+    }
+
+    #[test]
+    fn empty_shapes_are_fine() {
+        assert_eq!(uniform_matrix(0, 5, 0.0, 1.0, 1).shape(), (0, 5));
+        assert!(permutation(0, 1).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Activation functions with derivatives.
+
+/// Elementwise activation used by [`crate::layer::Dense`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// `f(x) = max(0, x)`.
+    Relu,
+    /// `f(x) = 1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// `f(x) = tanh(x)`.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative w.r.t. the pre-activation, expressed via the
+    /// *activated* output `y = f(x)` (cheaper: no need to keep `x`).
+    #[inline]
+    pub fn derivative_from_output(&self, y: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(Activation::Identity.apply(3.5), 3.5);
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_saturates() {
+        assert!(Activation::Sigmoid.apply(50.0) > 0.999);
+        assert!(Activation::Sigmoid.apply(-50.0) < 0.001);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
+            for &x in &[-1.3, 0.4, 2.1] {
+                let y = act.apply(x);
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+}

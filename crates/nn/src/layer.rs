@@ -1,0 +1,215 @@
+//! A dense (fully connected) layer with manual backpropagation.
+
+use crate::activation::Activation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smfl_linalg::ops::{matmul, matmul_at, matmul_bt};
+use smfl_linalg::{Matrix, Result};
+
+/// `y = act(x · W + b)` over row-major batches (`x: batch x in`,
+/// `W: in x out`).
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weights (`in x out`).
+    pub w: Matrix,
+    /// Bias (`out`).
+    pub b: Vec<f64>,
+    /// Activation.
+    pub act: Activation,
+    /// Accumulated weight gradient from the last backward pass.
+    pub grad_w: Matrix,
+    /// Accumulated bias gradient from the last backward pass.
+    pub grad_b: Vec<f64>,
+    cached_input: Matrix,
+    cached_output: Matrix,
+}
+
+impl Dense {
+    /// Xavier/Glorot-initialized layer.
+    pub fn new(inputs: usize, outputs: usize, act: Activation, seed: u64) -> Dense {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / (inputs + outputs) as f64).sqrt();
+        let w = Matrix::from_fn(inputs, outputs, |_, _| rng.gen_range(-bound..bound));
+        Dense {
+            w,
+            b: vec![0.0; outputs],
+            act,
+            grad_w: Matrix::zeros(inputs, outputs),
+            grad_b: vec![0.0; outputs],
+            cached_input: Matrix::zeros(0, 0),
+            cached_output: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass; caches activations for the next backward pass.
+    pub fn forward(&mut self, x: &Matrix) -> Result<Matrix> {
+        let mut out = matmul(x, &self.w)?;
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = self.act.apply(*v + self.b[j]);
+            }
+        }
+        self.cached_input = x.clone();
+        self.cached_output = out.clone();
+        Ok(out)
+    }
+
+    /// Inference-only forward pass (no caches touched).
+    pub fn forward_inference(&self, x: &Matrix) -> Result<Matrix> {
+        let mut out = matmul(x, &self.w)?;
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = self.act.apply(*v + self.b[j]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: consumes `dL/dy`, stores `dL/dW`, `dL/db` and
+    /// returns `dL/dx`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Result<Matrix> {
+        // delta = grad_out ⊙ act'(y)
+        let delta = grad_out.zip_map(&self.cached_output, |g, y| {
+            g * self.act.derivative_from_output(y)
+        })?;
+        self.grad_w = matmul_at(&self.cached_input, &delta)?; // xᵀ · delta
+        for (j, gb) in self.grad_b.iter_mut().enumerate() {
+            *gb = (0..delta.rows()).map(|i| delta.get(i, j)).sum();
+        }
+        matmul_bt(&delta, &self.w) // delta · Wᵀ
+    }
+
+    /// Applies a plain gradient step (used by SGD; Adam keeps its own
+    /// state and writes directly).
+    pub fn apply_gradients(&mut self, lr: f64) {
+        let gw = self.grad_w.as_slice().to_vec();
+        for (w, g) in self.w.as_mut_slice().iter_mut().zip(gw) {
+            *w -= lr * g;
+        }
+        for (b, &g) in self.b.iter_mut().zip(&self.grad_b) {
+            *b -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut layer = Dense::new(3, 2, Activation::Identity, 1);
+        let x = Matrix::zeros(5, 3);
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.shape(), (5, 2));
+    }
+
+    #[test]
+    fn identity_layer_is_affine() {
+        let mut layer = Dense::new(2, 2, Activation::Identity, 2);
+        layer.w = Matrix::identity(2);
+        layer.b = vec![1.0, -1.0];
+        let x = Matrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn inference_matches_training_forward() {
+        let mut layer = Dense::new(4, 3, Activation::Tanh, 3);
+        let x = smfl_linalg::random::uniform_matrix(6, 4, -1.0, 1.0, 4);
+        let a = layer.forward(&x).unwrap();
+        let b = layer.forward_inference(&x).unwrap();
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Numerical gradient check of dL/dW for L = 0.5 * sum(y^2).
+        let mut layer = Dense::new(3, 2, Activation::Sigmoid, 5);
+        let x = smfl_linalg::random::uniform_matrix(4, 3, -1.0, 1.0, 6);
+        let y = layer.forward(&x).unwrap();
+        // L = 0.5 Σ y², dL/dy = y
+        layer.backward(&y).unwrap();
+        let analytic = layer.grad_w.clone();
+        let h = 1e-6;
+        for i in 0..3 {
+            for j in 0..2 {
+                let orig = layer.w.get(i, j);
+                layer.w.set(i, j, orig + h);
+                let lp = 0.5 * layer.forward_inference(&x).unwrap().frobenius_norm_sq();
+                layer.w.set(i, j, orig - h);
+                let lm = 0.5 * layer.forward_inference(&x).unwrap().frobenius_norm_sq();
+                layer.w.set(i, j, orig);
+                let numeric = (lp - lm) / (2.0 * h);
+                assert!(
+                    (numeric - analytic.get(i, j)).abs() < 1e-4,
+                    "dW[{i}{j}]: {numeric} vs {}",
+                    analytic.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_bias_and_input() {
+        let mut layer = Dense::new(2, 2, Activation::Tanh, 7);
+        let x = smfl_linalg::random::uniform_matrix(3, 2, -1.0, 1.0, 8);
+        let y = layer.forward(&x).unwrap();
+        let grad_in = layer.backward(&y).unwrap();
+        let h = 1e-6;
+        // bias check
+        for j in 0..2 {
+            let orig = layer.b[j];
+            layer.b[j] = orig + h;
+            let lp = 0.5 * layer.forward_inference(&x).unwrap().frobenius_norm_sq();
+            layer.b[j] = orig - h;
+            let lm = 0.5 * layer.forward_inference(&x).unwrap().frobenius_norm_sq();
+            layer.b[j] = orig;
+            let numeric = (lp - lm) / (2.0 * h);
+            assert!((numeric - layer.grad_b[j]).abs() < 1e-4);
+        }
+        // input gradient check (one entry)
+        let mut xp = x.clone();
+        xp.set(0, 0, x.get(0, 0) + h);
+        let lp = 0.5 * layer.forward_inference(&xp).unwrap().frobenius_norm_sq();
+        xp.set(0, 0, x.get(0, 0) - h);
+        let lm = 0.5 * layer.forward_inference(&xp).unwrap().frobenius_norm_sq();
+        let numeric = (lp - lm) / (2.0 * h);
+        assert!((numeric - grad_in.get(0, 0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn apply_gradients_moves_downhill() {
+        let mut layer = Dense::new(2, 1, Activation::Identity, 9);
+        let x = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5]).unwrap();
+        let loss = |l: &Dense| {
+            let y = l.forward_inference(&x).unwrap();
+            0.5 * y.frobenius_norm_sq()
+        };
+        let before = loss(&layer);
+        let y = layer.forward(&x).unwrap();
+        layer.backward(&y).unwrap();
+        layer.apply_gradients(0.05);
+        assert!(loss(&layer) < before);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Dense::new(3, 3, Activation::Relu, 11);
+        let b = Dense::new(3, 3, Activation::Relu, 11);
+        assert!(a.w.approx_eq(&b.w, 0.0));
+    }
+}

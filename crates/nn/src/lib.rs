@@ -1,0 +1,43 @@
+//! # smfl-nn
+//!
+//! Minimal neural-network substrate built for the GAN-style imputation
+//! baselines of the SMFL paper (GAIN and CAMF): dense layers with
+//! manual backprop, an [`Mlp`] container, Adam/SGD optimizers and the
+//! (masked) losses those models train with.
+//!
+//! This is deliberately a small, exact component — batch-major `f64`
+//! matrices from `smfl-linalg`, gradient-checked layers, no autograd
+//! machinery.
+//!
+//! ```
+//! use smfl_nn::{Activation, Mlp, Adam, loss::mse};
+//! use smfl_linalg::Matrix;
+//!
+//! // Fit y = x1 + x2 with a linear layer.
+//! let x = smfl_linalg::random::uniform_matrix(32, 2, -1.0, 1.0, 0);
+//! let y = Matrix::from_fn(32, 1, |i, _| x.get(i, 0) + x.get(i, 1));
+//! let mut net = Mlp::new(&[2, 1], &[Activation::Identity], 1);
+//! let mut adam = Adam::new(0.05);
+//! for _ in 0..200 {
+//!     let pred = net.forward(&x)?;
+//!     let (_, grad) = mse(&pred, &y)?;
+//!     net.backward(&grad)?;
+//!     adam.step(&mut net);
+//! }
+//! let (final_loss, _) = mse(&net.forward_inference(&x)?, &y)?;
+//! assert!(final_loss < 1e-3);
+//! # Ok::<(), smfl_linalg::LinalgError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod layer;
+pub mod loss;
+pub mod mlp;
+pub mod optim;
+
+pub use activation::Activation;
+pub use layer::Dense;
+pub use mlp::Mlp;
+pub use optim::Adam;

@@ -1,0 +1,106 @@
+//! Loss functions with gradients, including the masked variants GAIN
+//! trains with (reconstruction loss only over observed cells).
+
+use smfl_linalg::{Matrix, Result};
+
+/// Mean squared error and its gradient `∂L/∂pred`.
+pub fn mse(pred: &Matrix, target: &Matrix) -> Result<(f64, Matrix)> {
+    let diff = pred.sub(target)?;
+    let n = (pred.rows() * pred.cols()).max(1) as f64;
+    let loss = diff.frobenius_norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok((loss, grad))
+}
+
+/// MSE restricted to cells where `weight > 0` (elementwise weights, e.g.
+/// the observation mask matrix `M` in GAIN's generator loss).
+pub fn weighted_mse(pred: &Matrix, target: &Matrix, weight: &Matrix) -> Result<(f64, Matrix)> {
+    let diff = pred.sub(target)?.hadamard(weight)?;
+    let total_w: f64 = weight.sum().max(1e-12);
+    let loss = diff.frobenius_norm_sq() / total_w;
+    let grad = diff.hadamard(weight)?.scale(2.0 / total_w);
+    Ok((loss, grad))
+}
+
+/// Binary cross-entropy over probabilities in `(0, 1)` with its
+/// gradient. Inputs are clamped away from {0, 1} for stability.
+pub fn bce(pred: &Matrix, target: &Matrix) -> Result<(f64, Matrix)> {
+    let n = (pred.rows() * pred.cols()).max(1) as f64;
+    let clamped = pred.map(|p| p.clamp(1e-7, 1.0 - 1e-7));
+    let mut loss = 0.0;
+    for (p, t) in clamped.as_slice().iter().zip(target.as_slice()) {
+        loss -= t * p.ln() + (1.0 - t) * (1.0 - p).ln();
+    }
+    loss /= n;
+    let grad = clamped.zip_map(target, |p, t| ((p - t) / (p * (1.0 - p))) / n)?;
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let t = smfl_linalg::random::uniform_matrix(3, 3, 0.0, 1.0, 1);
+        let (l, g) = mse(&t, &t).unwrap();
+        assert_eq!(l, 0.0);
+        assert_eq!(g.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_vec(1, 2, vec![1.0, 3.0]).unwrap();
+        let t = Matrix::from_vec(1, 2, vec![0.0, 0.0]).unwrap();
+        let (l, g) = mse(&p, &t).unwrap();
+        assert!((l - 5.0).abs() < 1e-12); // (1 + 9)/2
+        assert_eq!(g.as_slice(), &[1.0, 3.0]); // 2/2 * diff
+    }
+
+    #[test]
+    fn weighted_mse_ignores_zero_weight_cells() {
+        let p = Matrix::from_vec(1, 2, vec![100.0, 2.0]).unwrap();
+        let t = Matrix::from_vec(1, 2, vec![0.0, 1.0]).unwrap();
+        let w = Matrix::from_vec(1, 2, vec![0.0, 1.0]).unwrap();
+        let (l, g) = weighted_mse(&p, &t, &w).unwrap();
+        assert!((l - 1.0).abs() < 1e-12);
+        assert_eq!(g.get(0, 0), 0.0);
+        assert!(g.get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn bce_minimized_at_target() {
+        let t = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let good = Matrix::from_vec(1, 2, vec![0.99, 0.01]).unwrap();
+        let bad = Matrix::from_vec(1, 2, vec![0.3, 0.7]).unwrap();
+        let (lg, _) = bce(&good, &t).unwrap();
+        let (lb, _) = bce(&bad, &t).unwrap();
+        assert!(lg < lb);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let t = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let p = Matrix::from_vec(1, 2, vec![0.6, 0.4]).unwrap();
+        let (_, g) = bce(&p, &t).unwrap();
+        let h = 1e-6;
+        for j in 0..2 {
+            let mut pp = p.clone();
+            pp.set(0, j, p.get(0, j) + h);
+            let (lp, _) = bce(&pp, &t).unwrap();
+            pp.set(0, j, p.get(0, j) - h);
+            let (lm, _) = bce(&pp, &t).unwrap();
+            let numeric = (lp - lm) / (2.0 * h);
+            assert!((numeric - g.get(0, j)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bce_is_stable_at_extremes() {
+        let t = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let p = Matrix::from_vec(1, 2, vec![0.0, 1.0]).unwrap(); // worst case
+        let (l, g) = bce(&p, &t).unwrap();
+        assert!(l.is_finite());
+        assert!(g.all_finite());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based gradient checks for the NN substrate: analytic
+//! backprop gradients must match central finite differences across
+//! random architectures, activations and inputs — the bedrock the GAIN
+//! and CAMF baselines stand on.
+
+use proptest::prelude::*;
+use smfl_linalg::random::uniform_matrix;
+use smfl_nn::{Activation, Adam, Mlp};
+
+const ACTS: [Activation; 3] = [Activation::Tanh, Activation::Sigmoid, Activation::Identity];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn weight_gradients_match_finite_differences(
+        inputs in 2usize..4,
+        hidden in 2usize..5,
+        batch in 1usize..5,
+        act_idx in 0usize..3,
+        seed in 0u64..2000,
+    ) {
+        let mut net = Mlp::new(
+            &[inputs, hidden, 1],
+            &[ACTS[act_idx], Activation::Identity],
+            seed,
+        );
+        let x = uniform_matrix(batch, inputs, -1.0, 1.0, seed.wrapping_add(5));
+        // L = 0.5 * ||f(x)||^2  =>  dL/dy = y
+        let y = net.forward(&x).unwrap();
+        net.backward(&y).unwrap();
+
+        let h = 1e-6;
+        // spot-check one weight per layer
+        for layer_idx in 0..2 {
+            let (r, c) = (0, 0);
+            let analytic = net.layers[layer_idx].grad_w.get(r, c);
+            let orig = net.layers[layer_idx].w.get(r, c);
+            net.layers[layer_idx].w.set(r, c, orig + h);
+            let lp = 0.5 * net.forward_inference(&x).unwrap().frobenius_norm_sq();
+            net.layers[layer_idx].w.set(r, c, orig - h);
+            let lm = 0.5 * net.forward_inference(&x).unwrap().frobenius_norm_sq();
+            net.layers[layer_idx].w.set(r, c, orig);
+            let numeric = (lp - lm) / (2.0 * h);
+            prop_assert!(
+                (numeric - analytic).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "layer {layer_idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradients_match_finite_differences(
+        inputs in 2usize..4,
+        seed in 0u64..2000,
+    ) {
+        let mut net = Mlp::new(
+            &[inputs, 3, 1],
+            &[Activation::Tanh, Activation::Sigmoid],
+            seed,
+        );
+        let x = uniform_matrix(2, inputs, -1.0, 1.0, seed.wrapping_add(9));
+        let y = net.forward(&x).unwrap();
+        let grad_in = net.backward(&y).unwrap();
+        let h = 1e-6;
+        for j in 0..inputs {
+            let mut xp = x.clone();
+            xp.set(0, j, x.get(0, j) + h);
+            let lp = 0.5 * net.forward_inference(&xp).unwrap().frobenius_norm_sq();
+            xp.set(0, j, x.get(0, j) - h);
+            let lm = 0.5 * net.forward_inference(&xp).unwrap().frobenius_norm_sq();
+            let numeric = (lp - lm) / (2.0 * h);
+            prop_assert!(
+                (numeric - grad_in.get(0, j)).abs() < 1e-4 * (1.0 + numeric.abs())
+            );
+        }
+    }
+
+    #[test]
+    fn adam_monotonically_reduces_quadratic_loss_overall(
+        seed in 0u64..2000,
+    ) {
+        // On a convex problem, Adam after T steps must land far below the
+        // start (not necessarily monotone per step).
+        let x = uniform_matrix(16, 2, -1.0, 1.0, seed);
+        let target = uniform_matrix(16, 1, 0.0, 1.0, seed.wrapping_add(3));
+        let mut net = Mlp::new(&[2, 1], &[Activation::Identity], seed);
+        let mut adam = Adam::new(0.05);
+        let loss = |net: &Mlp| {
+            let p = net.forward_inference(&x).unwrap();
+            p.sub(&target).unwrap().frobenius_norm_sq()
+        };
+        let before = loss(&net);
+        for _ in 0..150 {
+            let p = net.forward(&x).unwrap();
+            let g = p.sub(&target).unwrap().scale(1.0 / 16.0);
+            net.backward(&g).unwrap();
+            adam.step(&mut net);
+        }
+        let after = loss(&net);
+        prop_assert!(after < 0.6 * before + 1e-9, "{before} -> {after}");
+    }
+}

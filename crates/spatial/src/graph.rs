@@ -1,0 +1,373 @@
+//! The kNN similarity graph and graph Laplacian of the paper (§II-C).
+//!
+//! `D` is the symmetric binary p-nearest-neighbour similarity matrix
+//! (Formula 3): `d_ij = 1` iff `x_i ∈ NN_p(x_j)` or `x_j ∈ NN_p(x_i)`,
+//! computed on the spatial information `SI`. `W` is the diagonal degree
+//! matrix (Formula 4), and the graph Laplacian is `L = W − D`. All three
+//! are stored sparse ([`CsrMatrix`]): each row of `D` holds at most `2p`
+//! entries, so the per-iteration products `D·U` / `W·U` in the update
+//! rule (Formula 13) cost `O(nnz·K)` instead of `O(N²K)`.
+
+use crate::kdtree::{brute_force_nearest, KdTree};
+use smfl_linalg::{CsrMatrix, Mask, Matrix, Result};
+
+/// How neighbour lists are computed when building the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborSearch {
+    /// KD-tree (`O(N log N)` in low dimension) — the default.
+    KdTree,
+    /// Brute force (`O(N²L)`, the cost the paper's Proposition 1 quotes);
+    /// kept as the correctness oracle and for the DESIGN.md ablation.
+    BruteForce,
+}
+
+/// The spatial graph triple `(D, W, L)` of the paper.
+#[derive(Debug, Clone)]
+pub struct SpatialGraph {
+    /// Binary symmetric similarity matrix `D` (Formula 3).
+    pub similarity: CsrMatrix,
+    /// Diagonal degree matrix `W` (Formula 4).
+    pub degree: CsrMatrix,
+    /// Graph Laplacian `L = W − D`.
+    pub laplacian: CsrMatrix,
+    /// Number of nearest neighbours `p` used.
+    pub p: usize,
+}
+
+/// Edge-weighting scheme for the similarity matrix.
+///
+/// The paper uses [`GraphWeighting::Binary`] (Formula 3); the GNMF
+/// lineage it builds on (Cai et al. [9]) also studies heat-kernel
+/// weights `d_ij = exp(−‖x_i − x_j‖² / (2σ²))`, which downweight the
+/// farthest of the p neighbours — provided as an extension and ablated
+/// in `bench/benches/` (DESIGN.md ablation list).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphWeighting {
+    /// `d_ij ∈ {0, 1}` — the paper's Formula 3.
+    Binary,
+    /// `d_ij = exp(−dist² / (2σ²))` on the same p-NN support.
+    HeatKernel {
+        /// Kernel bandwidth σ.
+        sigma: f64,
+    },
+}
+
+impl SpatialGraph {
+    /// Builds the graph from spatial coordinates `si` (`N x L`) with `p`
+    /// nearest neighbours per point.
+    ///
+    /// Neighbour ties are broken by index, matching the brute-force
+    /// oracle, so both [`NeighborSearch`] variants yield identical
+    /// graphs.
+    pub fn build(si: &Matrix, p: usize, search: NeighborSearch) -> Result<SpatialGraph> {
+        Self::build_weighted(si, p, search, GraphWeighting::Binary)
+    }
+
+    /// [`SpatialGraph::build`] with an explicit edge-weighting scheme.
+    pub fn build_weighted(
+        si: &Matrix,
+        p: usize,
+        search: NeighborSearch,
+        weighting: GraphWeighting,
+    ) -> Result<SpatialGraph> {
+        let n = si.rows();
+        let mut pairs: Vec<(usize, usize, f64)> = Vec::with_capacity(n * p);
+        match search {
+            NeighborSearch::KdTree => {
+                let tree = KdTree::build(si);
+                for i in 0..n {
+                    for (j, d2) in tree.nearest(si.row(i), p, i) {
+                        pairs.push((i, j, d2));
+                    }
+                }
+            }
+            NeighborSearch::BruteForce => {
+                for i in 0..n {
+                    for (j, d2) in brute_force_nearest(si, si.row(i), p, i) {
+                        pairs.push((i, j, d2));
+                    }
+                }
+            }
+        }
+        // Symmetrize: d_ij set if either direction is a p-NN relation.
+        let weight = |d2: f64| match weighting {
+            GraphWeighting::Binary => 1.0,
+            GraphWeighting::HeatKernel { sigma } => {
+                (-d2 / (2.0 * sigma * sigma).max(1e-300)).exp()
+            }
+        };
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(pairs.len() * 2);
+        let mut seen = std::collections::HashSet::with_capacity(pairs.len() * 2);
+        for (i, j, d2) in pairs {
+            let w = weight(d2);
+            if seen.insert((i, j)) {
+                triplets.push((i, j, w));
+            }
+            if seen.insert((j, i)) {
+                triplets.push((j, i, w));
+            }
+        }
+        let similarity = CsrMatrix::from_triplets(n, n, &triplets)?;
+        let degrees = similarity.row_sums();
+        let degree = CsrMatrix::diagonal(&degrees);
+        // L = W − D as one triplet pass.
+        let mut lap_triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(similarity.nnz() + n);
+        for (i, &deg) in degrees.iter().enumerate() {
+            if deg != 0.0 {
+                lap_triplets.push((i, i, deg));
+            }
+            for (j, v) in similarity.row_entries(i) {
+                lap_triplets.push((i, j, -v));
+            }
+        }
+        let laplacian = CsrMatrix::from_triplets(n, n, &lap_triplets)?;
+        Ok(SpatialGraph {
+            similarity,
+            degree,
+            laplacian,
+            p,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.similarity.rows()
+    }
+
+    /// `true` for an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The spatial-regularization value `Tr(Uᵀ L U)` — the paper's
+    /// `O_SR(U)` (§II-C) evaluated without densifying `L`.
+    pub fn regularization(&self, u: &Matrix) -> Result<f64> {
+        self.laplacian.quadratic_form(u)
+    }
+}
+
+/// Prepares spatial information for graph construction when some SI
+/// cells are unobserved (paper §II-C): a missing `x_ij` is initialized
+/// with the mean of the *observed* values in column `j`. This filled
+/// copy is used **only** to compute `D`; imputation proper happens in
+/// the factorization.
+pub fn fill_missing_si(x: &Matrix, omega: &Mask, l_cols: usize) -> Matrix {
+    let mut si = x
+        .columns(0, l_cols.min(x.cols()))
+        .expect("l_cols within bounds by min()");
+    for j in 0..si.cols() {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..x.rows() {
+            if omega.get(i, j) {
+                sum += x.get(i, j);
+                count += 1;
+            }
+        }
+        let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+        for i in 0..x.rows() {
+            if !omega.get(i, j) {
+                si.set(i, j, mean);
+            }
+        }
+    }
+    si
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smfl_linalg::random::uniform_matrix;
+
+    fn line_points(n: usize) -> Matrix {
+        Matrix::from_fn(n, 2, |i, j| if j == 0 { i as f64 } else { 0.0 })
+    }
+
+    #[test]
+    fn line_graph_with_p1() {
+        // Points on a line, p = 1: each interior point links to a
+        // neighbour; symmetrization makes consecutive links mutual.
+        let g = SpatialGraph::build(&line_points(5), 1, NeighborSearch::BruteForce).unwrap();
+        assert!(g.similarity.is_symmetric(0.0));
+        // Point 0's NN is 1 and vice versa: edge (0,1) mutual.
+        assert_eq!(g.similarity.get(0, 1), 1.0);
+        assert_eq!(g.similarity.get(1, 0), 1.0);
+        // No self loops.
+        for i in 0..5 {
+            assert_eq!(g.similarity.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn kdtree_and_bruteforce_agree() {
+        let pts = uniform_matrix(150, 2, 0.0, 1.0, 21);
+        let a = SpatialGraph::build(&pts, 3, NeighborSearch::KdTree).unwrap();
+        let b = SpatialGraph::build(&pts, 3, NeighborSearch::BruteForce).unwrap();
+        assert!(a.similarity.to_dense().approx_eq(&b.similarity.to_dense(), 0.0));
+        assert!(a.laplacian.to_dense().approx_eq(&b.laplacian.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn degree_is_row_sum_of_similarity() {
+        let pts = uniform_matrix(40, 2, 0.0, 1.0, 3);
+        let g = SpatialGraph::build(&pts, 2, NeighborSearch::KdTree).unwrap();
+        let sums = g.similarity.row_sums();
+        for (i, &s) in sums.iter().enumerate() {
+            assert_eq!(g.degree.get(i, i), s);
+        }
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let pts = uniform_matrix(30, 2, 0.0, 1.0, 5);
+        let g = SpatialGraph::build(&pts, 3, NeighborSearch::KdTree).unwrap();
+        for s in g.laplacian.row_sums() {
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_quadratic_form_nonnegative() {
+        // L is PSD: Tr(Uᵀ L U) >= 0 for any U.
+        let pts = uniform_matrix(25, 2, 0.0, 1.0, 7);
+        let g = SpatialGraph::build(&pts, 3, NeighborSearch::KdTree).unwrap();
+        for seed in 0..5 {
+            let u = uniform_matrix(25, 4, -2.0, 2.0, seed);
+            assert!(g.regularization(&u).unwrap() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn regularization_zero_for_constant_rows() {
+        // Identical rows of U: every edge difference is zero.
+        let pts = uniform_matrix(20, 2, 0.0, 1.0, 9);
+        let g = SpatialGraph::build(&pts, 3, NeighborSearch::KdTree).unwrap();
+        let u = Matrix::filled(20, 3, 1.5);
+        assert!(g.regularization(&u).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn regularization_matches_pairwise_definition() {
+        // O_SR = 1/2 sum_ij d_ij ||u_i - u_j||² (paper §II-C).
+        let pts = uniform_matrix(15, 2, 0.0, 1.0, 11);
+        let g = SpatialGraph::build(&pts, 2, NeighborSearch::BruteForce).unwrap();
+        let u = uniform_matrix(15, 3, 0.0, 1.0, 12);
+        let mut manual = 0.0;
+        for i in 0..15 {
+            for j in 0..15 {
+                let dij = g.similarity.get(i, j);
+                if dij > 0.0 {
+                    let diff: f64 = (0..3)
+                        .map(|t| {
+                            let d = u.get(i, t) - u.get(j, t);
+                            d * d
+                        })
+                        .sum();
+                    manual += 0.5 * dij * diff;
+                }
+            }
+        }
+        let qf = g.regularization(&u).unwrap();
+        assert!((manual - qf).abs() < 1e-9, "manual {manual} vs qf {qf}");
+    }
+
+    #[test]
+    fn nnz_bounded_by_2pn() {
+        let pts = uniform_matrix(100, 2, 0.0, 1.0, 13);
+        let g = SpatialGraph::build(&pts, 4, NeighborSearch::KdTree).unwrap();
+        assert!(g.similarity.nnz() <= 2 * 4 * 100);
+        assert!(g.similarity.nnz() >= 4 * 100); // at least the out-edges
+    }
+
+    #[test]
+    fn fill_missing_si_uses_observed_column_mean() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 10.0, 0.0],
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 30.0, 0.0],
+        ])
+        .unwrap();
+        let mut omega = Mask::full(3, 3);
+        omega.set(1, 1, false); // (1,1) missing
+        omega.set(2, 0, false); // (2,0) missing
+        let si = fill_missing_si(&x, &omega, 2);
+        assert_eq!(si.shape(), (3, 2));
+        assert_eq!(si.get(2, 0), 2.0); // mean of {1, 3}
+        assert_eq!(si.get(1, 1), 20.0); // mean of {10, 30}
+        assert_eq!(si.get(0, 0), 1.0); // observed untouched
+    }
+
+    #[test]
+    fn fill_missing_si_all_missing_column_defaults_to_zero() {
+        let x = Matrix::filled(2, 2, 5.0);
+        let omega = Mask::empty(2, 2);
+        let si = fill_missing_si(&x, &omega, 2);
+        assert!(si.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SpatialGraph::build(&Matrix::zeros(0, 2), 3, NeighborSearch::KdTree).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn heat_kernel_weights_decay_with_distance() {
+        let pts = line_points(5);
+        let g = SpatialGraph::build_weighted(
+            &pts,
+            2,
+            NeighborSearch::BruteForce,
+            GraphWeighting::HeatKernel { sigma: 1.0 },
+        )
+        .unwrap();
+        // Point 0's neighbours are 1 (dist 1) and 2 (dist 2): the closer
+        // edge must carry the larger weight.
+        let w01 = g.similarity.get(0, 1);
+        let w02 = g.similarity.get(0, 2);
+        assert!(w01 > w02, "{w01} vs {w02}");
+        assert!(w01 <= 1.0 && w02 > 0.0);
+        assert!(g.similarity.is_symmetric(1e-12));
+        // Laplacian rows still sum to zero.
+        for s in g.laplacian.row_sums() {
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn binary_weighting_matches_default_build() {
+        let pts = smfl_linalg::random::uniform_matrix(40, 2, 0.0, 1.0, 3);
+        let a = SpatialGraph::build(&pts, 3, NeighborSearch::KdTree).unwrap();
+        let b = SpatialGraph::build_weighted(
+            &pts,
+            3,
+            NeighborSearch::KdTree,
+            GraphWeighting::Binary,
+        )
+        .unwrap();
+        assert!(a.similarity.to_dense().approx_eq(&b.similarity.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn heat_kernel_regularization_still_psd() {
+        let pts = smfl_linalg::random::uniform_matrix(25, 2, 0.0, 1.0, 5);
+        let g = SpatialGraph::build_weighted(
+            &pts,
+            3,
+            NeighborSearch::KdTree,
+            GraphWeighting::HeatKernel { sigma: 0.2 },
+        )
+        .unwrap();
+        for seed in 0..3 {
+            let u = smfl_linalg::random::uniform_matrix(25, 3, -2.0, 2.0, seed);
+            assert!(g.regularization(&u).unwrap() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn p_zero_yields_edgeless_graph() {
+        let g = SpatialGraph::build(&line_points(4), 0, NeighborSearch::KdTree).unwrap();
+        assert_eq!(g.similarity.nnz(), 0);
+        assert_eq!(g.laplacian.nnz(), 0);
+    }
+}

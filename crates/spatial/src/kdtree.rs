@@ -1,0 +1,350 @@
+//! KD-tree for k-nearest-neighbour queries.
+//!
+//! Building the paper's similarity matrix `D` requires the p-nearest
+//! neighbours of every point (Formula 3). Brute force is `O(N²L)` — the
+//! cost Proposition 1 quotes — while the kd-tree brings the practical
+//! cost to `O(N log N)` for the low-dimensional (`L = 2`) spatial
+//! information. Both paths exist; the brute-force oracle doubles as the
+//! correctness reference in tests (DESIGN.md ablation #3).
+
+use smfl_linalg::Matrix;
+use std::cmp::Ordering;
+
+/// A static kd-tree over the rows of a points matrix.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    /// Point coordinates, row per point (owned copy).
+    points: Matrix,
+    /// Tree nodes in preorder; `usize::MAX` marks an absent child.
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    point: usize,
+    axis: usize,
+    left: usize,
+    right: usize,
+}
+
+const NONE: usize = usize::MAX;
+
+/// A neighbour hit: `(row_index, squared_distance)`.
+pub type Neighbor = (usize, f64);
+
+impl KdTree {
+    /// Builds a kd-tree over the rows of `points`.
+    pub fn build(points: &Matrix) -> Self {
+        let n = points.rows();
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut nodes = Vec::with_capacity(n);
+        let root = if n == 0 {
+            NONE
+        } else {
+            build_recursive(points, &mut indices[..], 0, &mut nodes)
+        };
+        KdTree {
+            points: points.clone(),
+            nodes,
+            root,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.rows()
+    }
+
+    /// `true` when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k` nearest neighbours of `query`, sorted by ascending squared
+    /// Euclidean distance. `exclude` removes one index from consideration
+    /// (pass the query's own row index for self-exclusion, or `usize::MAX`
+    /// for none).
+    pub fn nearest(&self, query: &[f64], k: usize, exclude: usize) -> Vec<Neighbor> {
+        let mut heap = BoundedMaxHeap::new(k);
+        if self.root != NONE && k > 0 {
+            self.search(self.root, query, exclude, &mut heap);
+        }
+        heap.into_sorted()
+    }
+
+    fn search(&self, node_idx: usize, query: &[f64], exclude: usize, heap: &mut BoundedMaxHeap) {
+        let node = &self.nodes[node_idx];
+        let point = self.points.row(node.point);
+        if node.point != exclude {
+            let d = sq_dist(point, query);
+            heap.push(node.point, d);
+        }
+        let delta = query[node.axis] - point[node.axis];
+        let (first, second) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if first != NONE {
+            self.search(first, query, exclude, heap);
+        }
+        // Prune: visit the far side only if the splitting plane is closer
+        // than the current k-th best.
+        if second != NONE && (heap.len() < heap.capacity() || delta * delta < heap.worst()) {
+            self.search(second, query, exclude, heap);
+        }
+    }
+}
+
+fn build_recursive(
+    points: &Matrix,
+    indices: &mut [usize],
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    if indices.is_empty() {
+        return NONE;
+    }
+    let dims = points.cols().max(1);
+    let axis = depth % dims;
+    let mid = indices.len() / 2;
+    indices.select_nth_unstable_by(mid, |&a, &b| {
+        points
+            .get(a, axis)
+            .partial_cmp(&points.get(b, axis))
+            .unwrap_or(Ordering::Equal)
+    });
+    let point = indices[mid];
+    let slot = nodes.len();
+    nodes.push(Node {
+        point,
+        axis,
+        left: NONE,
+        right: NONE,
+    });
+    // Split into two owned ranges around the median.
+    let (left_part, rest) = indices.split_at_mut(mid);
+    let right_part = &mut rest[1..];
+    let left = build_recursive(points, left_part, depth + 1, nodes);
+    let right = build_recursive(points, right_part, depth + 1, nodes);
+    nodes[slot].left = left;
+    nodes[slot].right = right;
+    slot
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Fixed-capacity max-heap over `(index, sq_dist)` keeping the k smallest
+/// distances seen.
+struct BoundedMaxHeap {
+    cap: usize,
+    items: Vec<Neighbor>,
+}
+
+impl BoundedMaxHeap {
+    fn new(cap: usize) -> Self {
+        BoundedMaxHeap {
+            cap,
+            items: Vec::with_capacity(cap + 1),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Largest retained distance, or infinity when not yet full.
+    fn worst(&self) -> f64 {
+        if self.items.len() < self.cap {
+            f64::INFINITY
+        } else {
+            self.items.first().map_or(f64::INFINITY, |&(_, d)| d)
+        }
+    }
+
+    fn push(&mut self, idx: usize, d: f64) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.items.len() < self.cap {
+            self.items.push((idx, d));
+            self.sift_up(self.items.len() - 1);
+        } else if d < self.items[0].1 {
+            self.items[0] = (idx, d);
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.items[i].1 > self.items[parent].1 {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.items.len() && self.items[l].1 > self.items[largest].1 {
+                largest = l;
+            }
+            if r < self.items.len() && self.items[r].1 > self.items[largest].1 {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.items.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn into_sorted(mut self) -> Vec<Neighbor> {
+        self.items.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        self.items
+    }
+}
+
+/// Brute-force k-nearest-neighbour oracle: same contract as
+/// [`KdTree::nearest`], `O(N·L)` per query.
+pub fn brute_force_nearest(
+    points: &Matrix,
+    query: &[f64],
+    k: usize,
+    exclude: usize,
+) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = (0..points.rows())
+        .filter(|&i| i != exclude)
+        .map(|i| (i, sq_dist(points.row(i), query)))
+        .collect();
+    all.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smfl_linalg::random::uniform_matrix;
+
+    fn grid_points() -> Matrix {
+        // 3x3 unit grid
+        Matrix::from_fn(9, 2, |i, j| if j == 0 { (i / 3) as f64 } else { (i % 3) as f64 })
+    }
+
+    #[test]
+    fn nearest_on_grid() {
+        let tree = KdTree::build(&grid_points());
+        // Query at (0, 0): nearest is point 0 itself, then points 1 and 3.
+        let hits = tree.nearest(&[0.0, 0.0], 3, usize::MAX);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[0].1, 0.0);
+        let next: Vec<usize> = hits[1..].iter().map(|h| h.0).collect();
+        assert!(next.contains(&1) && next.contains(&3));
+    }
+
+    #[test]
+    fn exclude_self() {
+        let tree = KdTree::build(&grid_points());
+        let hits = tree.nearest(&[0.0, 0.0], 2, 0);
+        assert!(hits.iter().all(|&(i, _)| i != 0));
+    }
+
+    #[test]
+    fn k_zero_and_empty_tree() {
+        let tree = KdTree::build(&grid_points());
+        assert!(tree.nearest(&[0.0, 0.0], 0, usize::MAX).is_empty());
+        let empty = KdTree::build(&Matrix::zeros(0, 2));
+        assert!(empty.is_empty());
+        assert!(empty.nearest(&[0.0, 0.0], 3, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_points() {
+        let tree = KdTree::build(&grid_points());
+        let hits = tree.nearest(&[1.0, 1.0], 100, usize::MAX);
+        assert_eq!(hits.len(), 9);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let pts = uniform_matrix(200, 2, 0.0, 10.0, 99);
+        let tree = KdTree::build(&pts);
+        for q in 0..20 {
+            let query: Vec<f64> = pts.row(q * 7).to_vec();
+            let kd = tree.nearest(&query, 5, q * 7);
+            let bf = brute_force_nearest(&pts, &query, 5, q * 7);
+            let kd_d: Vec<f64> = kd.iter().map(|h| h.1).collect();
+            let bf_d: Vec<f64> = bf.iter().map(|h| h.1).collect();
+            for (a, b) in kd_d.iter().zip(&bf_d) {
+                assert!((a - b).abs() < 1e-12, "kd {kd:?} vs bf {bf:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            vec![5.0, 5.0],
+        ])
+        .unwrap();
+        let tree = KdTree::build(&pts);
+        let hits = tree.nearest(&[1.0, 1.0], 3, usize::MAX);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().take(3).all(|&(_, d)| d == 0.0));
+    }
+
+    #[test]
+    fn higher_dimensional_points() {
+        let pts = uniform_matrix(100, 5, -1.0, 1.0, 4);
+        let tree = KdTree::build(&pts);
+        let q = pts.row(0).to_vec();
+        let kd = tree.nearest(&q, 4, 0);
+        let bf = brute_force_nearest(&pts, &q, 4, 0);
+        assert_eq!(kd.len(), 4);
+        for (a, b) in kd.iter().zip(&bf) {
+            assert!((a.1 - b.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let pts = uniform_matrix(50, 2, 0.0, 1.0, 8);
+        let tree = KdTree::build(&pts);
+        let hits = tree.nearest(&[0.5, 0.5], 10, usize::MAX);
+        for w in hits.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! K-means clustering with k-means++ seeding.
+//!
+//! The landmarks of SMFL are *the centres of the K clusters of the
+//! spatial information `SI`* (paper §III-A, Definition 1 context): the
+//! paper sets the K-means cluster count `K'` equal to the factorization
+//! rank `K`, so each learned feature row of `V` is anchored at one
+//! cluster centre. The default iteration cap is `t₂ = 300` with early
+//! stop, exactly as the paper's Proposition 1 discussion states.
+
+// Index-based loops mirror the textbook Lloyd/k-means++ formulas.
+#![allow(clippy::needless_range_loop)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smfl_linalg::{LinalgError, Matrix, Result};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters `K` (equals the NMF rank in SMFL).
+    pub k: usize,
+    /// Maximum iterations; the paper's default `t₂` is 300.
+    pub max_iter: usize,
+    /// Early-stop threshold on total centre movement.
+    pub tol: f64,
+    /// RNG seed for the k-means++ seeding.
+    pub seed: u64,
+    /// Seeding strategy.
+    pub init: KMeansInit,
+}
+
+/// Seeding strategy for k-means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KMeansInit {
+    /// k-means++ (default): spread seeds proportionally to squared
+    /// distance from already chosen seeds.
+    PlusPlus,
+    /// Uniform random choice of distinct data points (ablation #5 of
+    /// DESIGN.md — landmark quality under naive seeding).
+    Random,
+}
+
+impl KMeansConfig {
+    /// Paper defaults for a given `k`: 300 iterations, `tol = 1e-9`,
+    /// k-means++ seeding.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iter: 300,
+            tol: 1e-9,
+            seed: 0,
+            init: KMeansInit::PlusPlus,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the seeding strategy.
+    pub fn with_init(mut self, init: KMeansInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Overrides the iteration cap.
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centres, one row per cluster (`k x dims`) — the landmark
+    /// matrix `C` of the paper.
+    pub centers: Matrix,
+    /// Cluster assignment per input row.
+    pub labels: Vec<usize>,
+    /// Sum of squared distances of points to their assigned centre.
+    pub inertia: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+}
+
+/// Runs Lloyd's algorithm on the rows of `points`.
+///
+/// # Errors
+/// [`LinalgError::Empty`] when `points` has no rows or `k == 0`;
+/// `k` larger than the number of points is clamped to it.
+pub fn kmeans(points: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
+    let n = points.rows();
+    if n == 0 || config.k == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let k = config.k.min(n);
+    let dims = points.cols();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut centers = match config.init {
+        KMeansInit::PlusPlus => plus_plus_seeds(points, k, &mut rng),
+        KMeansInit::Random => random_seeds(points, k, &mut rng),
+    };
+
+    let mut labels = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..config.max_iter.max(1) {
+        iterations = it + 1;
+        // Assignment step.
+        for (i, label) in labels.iter_mut().enumerate() {
+            *label = nearest_center(points.row(i), &centers);
+        }
+        // Update step.
+        let mut sums = Matrix::zeros(k, dims);
+        let mut counts = vec![0usize; k];
+        for (i, &label) in labels.iter().enumerate() {
+            counts[label] += 1;
+            let row = points.row(i);
+            let srow = sums.row_mut(label);
+            for (d, &v) in row.iter().enumerate() {
+                srow[d] += v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from its
+                // centre to avoid dead centroids.
+                let far = farthest_point(points, &centers, &labels);
+                let row = points.row(far).to_vec();
+                movement += sq_dist(centers.row(c), &row);
+                centers.row_mut(c).copy_from_slice(&row);
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let mut new_center = vec![0.0; dims];
+            for (d, nc) in new_center.iter_mut().enumerate() {
+                *nc = sums.get(c, d) * inv;
+            }
+            movement += sq_dist(centers.row(c), &new_center);
+            centers.row_mut(c).copy_from_slice(&new_center);
+        }
+        if movement.sqrt() <= config.tol {
+            break;
+        }
+    }
+    // Final assignment and inertia with the converged centres.
+    let mut inertia = 0.0;
+    for (i, label) in labels.iter_mut().enumerate() {
+        *label = nearest_center(points.row(i), &centers);
+        inertia += sq_dist(points.row(i), centers.row(*label));
+    }
+    Ok(KMeansResult {
+        centers,
+        labels,
+        inertia,
+        iterations,
+    })
+}
+
+fn nearest_center(point: &[f64], centers: &Matrix) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for c in 0..centers.rows() {
+        let d = sq_dist(point, centers.row(c));
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+fn farthest_point(points: &Matrix, centers: &Matrix, labels: &[usize]) -> usize {
+    let mut best = 0;
+    let mut best_d = -1.0;
+    for i in 0..points.rows() {
+        let d = sq_dist(points.row(i), centers.row(labels[i]));
+        if d > best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn random_seeds(points: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = points.rows();
+    // Partial Fisher-Yates over indices for k distinct seeds.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    let mut centers = Matrix::zeros(k, points.cols());
+    for (c, &i) in idx.iter().take(k).enumerate() {
+        centers.row_mut(c).copy_from_slice(points.row(i));
+    }
+    centers
+}
+
+fn plus_plus_seeds(points: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = points.rows();
+    let mut centers = Matrix::zeros(k, points.cols());
+    let first = rng.gen_range(0..n);
+    centers.row_mut(0).copy_from_slice(points.row(first));
+    let mut min_d: Vec<f64> = (0..n)
+        .map(|i| sq_dist(points.row(i), centers.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = min_d.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &d) in min_d.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centers.row_mut(c).copy_from_slice(points.row(chosen));
+        for i in 0..n {
+            let d = sq_dist(points.row(i), centers.row(c));
+            if d < min_d[i] {
+                min_d[i] = d;
+            }
+        }
+    }
+    centers
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smfl_linalg::random::normal_matrix;
+
+    /// Three well-separated blobs of 30 points each.
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let centers = [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            let noise = normal_matrix(30, 2, 0.0, 0.5, c as u64 + 1);
+            for i in 0..30 {
+                rows.push(vec![center[0] + noise.get(i, 0), center[1] + noise.get(i, 1)]);
+                truth.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (pts, truth) = blobs();
+        let res = kmeans(&pts, &KMeansConfig::new(3).with_seed(1)).unwrap();
+        // All points of a true blob must share a predicted label.
+        for blob in 0..3 {
+            let labels: Vec<usize> = truth
+                .iter()
+                .zip(&res.labels)
+                .filter(|(&t, _)| t == blob)
+                .map(|(_, &p)| p)
+                .collect();
+            assert!(labels.windows(2).all(|w| w[0] == w[1]), "blob {blob} split");
+        }
+    }
+
+    #[test]
+    fn centers_land_near_blob_means() {
+        let (pts, _) = blobs();
+        let res = kmeans(&pts, &KMeansConfig::new(3).with_seed(2)).unwrap();
+        for target in [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]] {
+            let nearest = (0..3)
+                .map(|c| sq_dist(res.centers.row(c), &target))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 1.0, "no centre near {target:?}");
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (pts, _) = blobs();
+        let i1 = kmeans(&pts, &KMeansConfig::new(1).with_seed(3)).unwrap().inertia;
+        let i3 = kmeans(&pts, &KMeansConfig::new(3).with_seed(3)).unwrap().inertia;
+        let i9 = kmeans(&pts, &KMeansConfig::new(9).with_seed(3)).unwrap().inertia;
+        assert!(i3 < i1);
+        assert!(i9 <= i3 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (pts, _) = blobs();
+        let a = kmeans(&pts, &KMeansConfig::new(3).with_seed(7)).unwrap();
+        let b = kmeans(&pts, &KMeansConfig::new(3).with_seed(7)).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert!(a.centers.approx_eq(&b.centers, 0.0));
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        let res = kmeans(&pts, &KMeansConfig::new(5)).unwrap();
+        assert_eq!(res.centers.rows(), 2);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(kmeans(&Matrix::zeros(0, 2), &KMeansConfig::new(3)).is_err());
+        let pts = Matrix::zeros(3, 2);
+        assert!(kmeans(&pts, &KMeansConfig::new(0)).is_err());
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let pts = Matrix::filled(10, 2, 4.0);
+        let res = kmeans(&pts, &KMeansConfig::new(2).with_seed(1)).unwrap();
+        assert!(res.inertia < 1e-18);
+        assert!(res.iterations <= 300);
+    }
+
+    #[test]
+    fn random_init_also_converges() {
+        let (pts, _) = blobs();
+        let res = kmeans(
+            &pts,
+            &KMeansConfig::new(3).with_seed(5).with_init(KMeansInit::Random),
+        )
+        .unwrap();
+        // Random seeding may collapse two blobs into one cluster, so only
+        // require improvement over the single-cluster solution; the
+        // k-means++ quality gap is exactly the DESIGN.md ablation #5.
+        let single = kmeans(&pts, &KMeansConfig::new(1).with_seed(5)).unwrap();
+        assert!(res.inertia < single.inertia);
+        assert!(res.inertia.is_finite());
+    }
+
+    #[test]
+    fn labels_index_valid_centers() {
+        let (pts, _) = blobs();
+        let res = kmeans(&pts, &KMeansConfig::new(4).with_seed(9)).unwrap();
+        assert!(res.labels.iter().all(|&l| l < 4));
+        assert_eq!(res.labels.len(), pts.rows());
+    }
+
+    #[test]
+    fn single_iteration_cap_respected() {
+        let (pts, _) = blobs();
+        let res = kmeans(&pts, &KMeansConfig::new(3).with_seed(1).with_max_iter(1)).unwrap();
+        assert_eq!(res.iterations, 1);
+    }
+}
