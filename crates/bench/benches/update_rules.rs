@@ -1,95 +1,285 @@
-//! DESIGN.md ablation #1 / paper §IV-E: per-iteration cost of the
-//! multiplicative update with and without landmarks.
+//! Per-iteration cost of the multiplicative update, fused engine vs the
+//! pre-engine dense path, across observation densities (DESIGN.md
+//! "Iteration engine"; paper §IV-E measures per-iteration cost too).
 //!
-//! The landmark columns of `V` are frozen, so SMFL's `V` update runs on
-//! `M − L` columns instead of `M` — the paper claims (and Fig. 9 shows)
-//! a small but consistent speedup of SMFL over SMF. This bench isolates
-//! exactly that effect at fixed shapes.
+//! Two benchmark families:
+//!
+//! 1. `fused_vs_dense` — the headline comparison at N=2000, M=500, K=20.
+//!    The dense reference reproduces the pre-engine step verbatim: three
+//!    allocating `masked_product` calls (each with a fresh `v.transpose()`
+//!    inside), dense `matmul_bt` / column-sliced `matmul_at` products,
+//!    plus the `masked_diff_norm_sq` fit-term scan the old fit loop paid
+//!    per iteration. The fused path is `updater::multiplicative_step` on
+//!    a compiled [`ObservedPattern`] + reused [`Workspace`].
+//! 2. `multiplicative_iteration` — the original SMF-vs-SMFL landmark
+//!    ablation (frozen columns shrink the V update), now on the engine.
+//!
+//! Besides the criterion console output, `main` measures both paths with
+//! manual wall-clock timing, cross-checks factor agreement to 1e-10, and
+//! writes `BENCH_update_rules.json` (per-density ms/iter, observed
+//! entries/sec and speedup) at the workspace root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use smfl_core::updater::{multiplicative_step, UpdateContext};
 use smfl_core::Landmarks;
-use smfl_linalg::random::positive_uniform_matrix;
-use smfl_linalg::{Mask, Matrix};
+use smfl_linalg::mask::{masked_diff_norm_sq, masked_product};
+use smfl_linalg::ops::{matmul_at, matmul_bt};
+use smfl_linalg::random::{positive_uniform_matrix, uniform_matrix};
+use smfl_linalg::{Mask, Matrix, ObservedPattern, Workspace};
 use smfl_spatial::{NeighborSearch, SpatialGraph};
+use std::time::Instant;
 
-struct Setup {
+const EPS: f64 = 1e-12;
+
+/// Headline shape (ISSUE acceptance: ≥2x at 20% density on this shape).
+const N: usize = 2000;
+const M: usize = 500;
+const K: usize = 20;
+const DENSITIES: [f64; 4] = [0.05, 0.2, 0.5, 0.9];
+
+struct Problem {
     masked_x: Matrix,
     omega: Mask,
-    graph: SpatialGraph,
-    landmarks: Landmarks,
+    pattern: ObservedPattern,
     u0: Matrix,
     v0: Matrix,
 }
 
-fn setup(n: usize, m: usize, k: usize) -> Setup {
-    let x = positive_uniform_matrix(n, m, 1);
-    let mut omega = Mask::full(n, m);
-    for i in (0..n).step_by(10) {
-        omega.set(i, (i / 10) % m, false);
+fn problem(n: usize, m: usize, k: usize, density: f64, seed: u64) -> Problem {
+    let x = positive_uniform_matrix(n, m, seed);
+    let sel = uniform_matrix(n, m, 0.0, 1.0, seed.wrapping_add(1));
+    let mut omega = Mask::empty(n, m);
+    for i in 0..n {
+        for j in 0..m {
+            if sel.get(i, j) < density {
+                omega.set(i, j, true);
+            }
+        }
     }
-    let si = x.columns(0, 2).unwrap();
-    let graph = SpatialGraph::build(&si, 3, NeighborSearch::KdTree).unwrap();
-    let landmarks = Landmarks::compute(&si, k, 300, 0).unwrap();
+    for j in 0..m {
+        omega.set(0, j, true); // every column observed at least once
+    }
     let masked_x = omega.apply(&x).unwrap();
-    let u0 = positive_uniform_matrix(n, k, 2).scale(1.0 / k as f64);
-    let mut v0 = positive_uniform_matrix(k, m, 3);
-    landmarks.inject(&mut v0).unwrap();
-    Setup {
+    let pattern = ObservedPattern::compile(&x, &omega).unwrap();
+    let u0 = positive_uniform_matrix(n, k, seed.wrapping_add(2)).scale(1.0 / k as f64);
+    let v0 = positive_uniform_matrix(k, m, seed.wrapping_add(3));
+    Problem {
         masked_x,
         omega,
-        graph,
-        landmarks,
+        pattern,
         u0,
         v0,
     }
 }
 
-fn bench_iteration_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multiplicative_iteration");
-    for &(n, m, k) in &[(2000usize, 13usize, 8usize), (2000, 7, 6)] {
-        let s = setup(n, m, k);
-        // SMF: no landmark freeze (all of V updates).
+/// The multiplicative step exactly as it existed before the fused
+/// engine (no graph terms, no landmarks — the paths being compared are
+/// identical there), including the per-iteration fit-term scan the old
+/// fit loop performed via `objective_with_reconstruction`. Every product
+/// allocates, as the old code did.
+fn dense_reference_step(masked_x: &Matrix, omega: &Mask, u: &mut Matrix, v: &mut Matrix) -> f64 {
+    // ---- U update (Formula 13) ----
+    let r = masked_product(u, v, omega).unwrap(); // R_Ω(UV)
+    let numer_u = matmul_bt(masked_x, v).unwrap(); // R_Ω(X)·Vᵀ
+    let denom_u = matmul_bt(&r, v).unwrap(); // R_Ω(UV)·Vᵀ
+    for ((uv, &n), &d) in u
+        .as_mut_slice()
+        .iter_mut()
+        .zip(numer_u.as_slice())
+        .zip(denom_u.as_slice())
+    {
+        *uv *= n / (d + EPS);
+    }
+
+    // ---- V update (Formula 14) ----
+    let r2 = masked_product(u, v, omega).unwrap(); // with refreshed U
+    let numer_v = matmul_at(u, masked_x).unwrap(); // Uᵀ·R_Ω(X)
+    let denom_v = matmul_at(u, &r2).unwrap(); // Uᵀ·R_Ω(UV)
+    for k in 0..v.rows() {
+        for j in 0..v.cols() {
+            let val = v.get(k, j) * numer_v.get(k, j) / (denom_v.get(k, j) + EPS);
+            v.set(k, j, val);
+        }
+    }
+
+    let r3 = masked_product(u, v, omega).unwrap();
+    masked_diff_norm_sq(masked_x, &r3, omega).unwrap()
+}
+
+fn fused_ctx<'a>(p: &'a Problem) -> UpdateContext<'a> {
+    UpdateContext {
+        masked_x: &p.masked_x,
+        omega: &p.omega,
+        pattern: &p.pattern,
+        graph: None,
+        lambda: 0.0,
+        landmarks: None,
+    }
+}
+
+fn bench_fused_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_vs_dense");
+    for &density in &DENSITIES {
+        let p = problem(N, M, K, density, 1);
         group.bench_with_input(
-            BenchmarkId::new("smf", format!("{n}x{m}_k{k}")),
-            &s,
-            |b, s| {
-                let ctx = UpdateContext {
-                    masked_x: &s.masked_x,
-                    omega: &s.omega,
-                    graph: Some(&s.graph),
-                    lambda: 0.1,
-                    landmarks: None,
-                };
-                b.iter_batched(
-                    || (s.u0.clone(), s.v0.clone()),
-                    |(mut u, mut v)| multiplicative_step(&ctx, &mut u, &mut v).unwrap(),
-                    criterion::BatchSize::LargeInput,
-                );
+            BenchmarkId::new("fused", format!("d{:02}", (density * 100.0) as u32)),
+            &p,
+            |b, p| {
+                let ctx = fused_ctx(p);
+                let mut ws = Workspace::new(&p.pattern, K);
+                let mut u = p.u0.clone();
+                let mut v = p.v0.clone();
+                b.iter(|| multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap());
             },
         );
-        // SMFL: first L columns frozen.
         group.bench_with_input(
-            BenchmarkId::new("smfl", format!("{n}x{m}_k{k}")),
-            &s,
-            |b, s| {
-                let ctx = UpdateContext {
-                    masked_x: &s.masked_x,
-                    omega: &s.omega,
-                    graph: Some(&s.graph),
-                    lambda: 0.1,
-                    landmarks: Some(&s.landmarks),
-                };
-                b.iter_batched(
-                    || (s.u0.clone(), s.v0.clone()),
-                    |(mut u, mut v)| multiplicative_step(&ctx, &mut u, &mut v).unwrap(),
-                    criterion::BatchSize::LargeInput,
-                );
+            BenchmarkId::new("dense", format!("d{:02}", (density * 100.0) as u32)),
+            &p,
+            |b, p| {
+                let mut u = p.u0.clone();
+                let mut v = p.v0.clone();
+                b.iter(|| dense_reference_step(&p.masked_x, &p.omega, &mut u, &mut v));
             },
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_iteration_cost);
-criterion_main!(benches);
+/// The original landmark ablation: SMFL's frozen columns shrink the V
+/// update and, on the engine, skip whole output rows of the SpMMᵀ.
+fn bench_iteration_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiplicative_iteration");
+    for &(n, m, k) in &[(2000usize, 13usize, 8usize), (2000, 7, 6)] {
+        let p = problem(n, m, k, 0.95, 2);
+        let x = positive_uniform_matrix(n, m, 2);
+        let si = x.columns(0, 2).unwrap();
+        let graph = SpatialGraph::build(&si, 3, NeighborSearch::KdTree).unwrap();
+        let landmarks = Landmarks::compute(&si, k, 300, 0).unwrap();
+        for (label, lm) in [("smf", None), ("smfl", Some(&landmarks))] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{n}x{m}_k{k}")),
+                &p,
+                |b, p| {
+                    let ctx = UpdateContext {
+                        masked_x: &p.masked_x,
+                        omega: &p.omega,
+                        pattern: &p.pattern,
+                        graph: Some(&graph),
+                        lambda: 0.1,
+                        landmarks: lm,
+                    };
+                    let mut ws = Workspace::new(&p.pattern, k);
+                    let mut u = p.u0.clone();
+                    let mut v = p.v0.clone();
+                    if let Some(lm) = lm {
+                        lm.inject(&mut v).unwrap();
+                        ws.invalidate();
+                    }
+                    b.iter(|| multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Wall-clock timing of one path until ≥`budget_s` seconds and ≥5
+/// iterations have elapsed; returns seconds per iteration.
+fn time_path(mut step: impl FnMut() -> f64, budget_s: f64) -> f64 {
+    for _ in 0..2 {
+        step(); // warmup (first fused iteration allocates the workspace lazies)
+    }
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        std::hint::black_box(step());
+        iters += 1;
+        if iters >= 5 && start.elapsed().as_secs_f64() >= budget_s {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+/// Largest relative elementwise difference between two equal-shape
+/// matrices.
+fn max_rel_diff(a: &Matrix, b: &Matrix) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0, f64::max)
+}
+
+fn json_report() {
+    eprintln!("\nmanual timing for BENCH_update_rules.json (N={N}, M={M}, K={K})");
+    let mut rows = Vec::new();
+    for &density in &DENSITIES {
+        let p = problem(N, M, K, density, 1);
+        let nnz = p.pattern.nnz();
+
+        // Agreement: both paths from the same init for 3 iterations.
+        let (mut uf, mut vf) = (p.u0.clone(), p.v0.clone());
+        let (mut ud, mut vd) = (p.u0.clone(), p.v0.clone());
+        let ctx = fused_ctx(&p);
+        let mut ws = Workspace::new(&p.pattern, K);
+        let mut fit_diff = 0.0f64;
+        for _ in 0..3 {
+            let ff = multiplicative_step(&ctx, &mut ws, &mut uf, &mut vf).unwrap();
+            let fd = dense_reference_step(&p.masked_x, &p.omega, &mut ud, &mut vd);
+            fit_diff = fit_diff.max((ff - fd).abs() / fd.abs().max(1.0));
+        }
+        let factor_diff = max_rel_diff(&uf, &ud).max(max_rel_diff(&vf, &vd));
+        assert!(
+            factor_diff <= 1e-10 && fit_diff <= 1e-10,
+            "paths diverged at density {density}: factors {factor_diff:.2e}, fit {fit_diff:.2e}"
+        );
+
+        let fused_s = {
+            let mut ws = Workspace::new(&p.pattern, K);
+            let ctx = fused_ctx(&p);
+            let mut u = p.u0.clone();
+            let mut v = p.v0.clone();
+            time_path(|| multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap(), 0.5)
+        };
+        let dense_s = {
+            let mut u = p.u0.clone();
+            let mut v = p.v0.clone();
+            time_path(|| dense_reference_step(&p.masked_x, &p.omega, &mut u, &mut v), 0.5)
+        };
+        let speedup = dense_s / fused_s;
+        let entries_per_sec = nnz as f64 / fused_s;
+        eprintln!(
+            "  density {density:.2}: fused {:.3} ms/iter, dense {:.3} ms/iter, \
+             {entries_per_sec:.3e} entries/s, speedup {speedup:.2}x, max diff {factor_diff:.1e}",
+            fused_s * 1e3,
+            dense_s * 1e3,
+        );
+        rows.push(format!(
+            "    {{\"density\": {density}, \"nnz\": {nnz}, \
+             \"fused_ms_per_iter\": {:.6}, \"dense_ms_per_iter\": {:.6}, \
+             \"fused_entries_per_sec\": {:.1}, \"speedup\": {speedup:.3}, \
+             \"max_rel_factor_diff\": {factor_diff:.3e}}}",
+            fused_s * 1e3,
+            dense_s * 1e3,
+            entries_per_sec,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"update_rules\",\n  \"shape\": {{\"n\": {N}, \"m\": {M}, \"k\": {K}}},\n  \
+         \"dense_reference\": \"pre-engine step: allocating masked_product x3 + dense matmul products + fit-term scan\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_update_rules.json");
+    std::fs::write(path, json).unwrap();
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_fused_vs_dense(&mut c);
+    bench_iteration_cost(&mut c);
+    c.final_summary();
+    json_report();
+}

@@ -15,123 +15,135 @@
 //!               / [ Σ_{i∈Ω_j} u_ik² ])            for (k,j) ∉ Φ
 //! ```
 //!
-//! where `r_ij = x_ij − (UV)_ij` is the current masked residual
-//! (updated incrementally as each column changes). Landmark entries `Φ`
-//! are skipped exactly as in the multiplicative updater. Each sweep is
-//! a sequence of exact coordinate minimizations of a smooth objective
-//! over a convex set, so the objective is non-increasing per sweep —
-//! the same guarantee the paper proves for its rules, by a different
-//! argument.
+//! where `r_ij = x_ij − (UV)_ij` is the current masked residual.
+//! On the fused engine the residual lives in *packed* form over the
+//! [`ObservedPattern`]: the `U` sweep walks CSR rows, the `V` sweep
+//! walks CSC columns (both touching only observed entries, `O(|Ω|)` per
+//! coordinate pass instead of the previous `O(N·M)` mask probing), and
+//! the incremental residual maintenance updates the packed values in
+//! place. Landmark entries `Φ` are skipped exactly as in the
+//! multiplicative updater. Each sweep is a sequence of exact coordinate
+//! minimizations of a smooth objective over a convex set, so the
+//! objective is non-increasing per sweep — the same guarantee the paper
+//! proves for its rules, by a different argument.
 
-use crate::landmarks::Landmarks;
-use smfl_linalg::mask::masked_product;
-use smfl_linalg::{Mask, Matrix, Result};
-use smfl_spatial::SpatialGraph;
+use crate::updater::UpdateContext;
+use smfl_linalg::kernels::Workspace;
+use smfl_linalg::{Matrix, Result};
 
 /// Denominator guard.
 const EPS: f64 = 1e-12;
 
 /// One full HALS sweep (all K columns of `U`, then all live entries of
-/// `V`). Returns `R_Ω(U·V)` for the updated factors so callers can
-/// evaluate the objective exactly like the other updaters.
+/// `V`). Returns the fit term `‖R_Ω(X − UV)‖_F²` for the updated
+/// factors, exactly like the other updaters.
 pub fn hals_step(
-    masked_x: &Matrix,
-    omega: &Mask,
-    graph: Option<&SpatialGraph>,
-    lambda: f64,
-    landmarks: Option<&Landmarks>,
+    ctx: &UpdateContext<'_>,
+    ws: &mut Workspace,
     u: &mut Matrix,
     v: &mut Matrix,
-) -> Result<Matrix> {
-    let (n, m) = masked_x.shape();
+) -> Result<f64> {
+    let pattern = ctx.pattern;
+    let (n, m) = (pattern.rows(), pattern.cols());
     let k = u.cols();
-    let v_start = landmarks.map_or(0, Landmarks::spatial_cols);
+    let v_start = ctx.landmarks.map_or(0, crate::landmarks::Landmarks::spatial_cols);
 
-    // Masked residual r = R_Ω(X − UV), maintained incrementally.
-    let mut r = masked_x.sub(&masked_product(u, v, omega)?)?;
+    // Packed masked residual r = R_Ω(X − UV), maintained incrementally.
+    if !ws.uv_fresh {
+        v.transpose_into(&mut ws.vt)?;
+        pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+    }
+    pattern.residual_into(&ws.uv_vals, &mut ws.res_vals)?;
+    let r = &mut ws.res_vals;
 
     // ---- U sweep: one latent column at a time ----
-    let diag_w: Option<Vec<f64>> = graph.map(|g| (0..n).map(|i| g.degree.get(i, i)).collect());
+    let graph = ctx.graph.filter(|_| ctx.lambda != 0.0);
     for c in 0..k {
-        // D·U column c (recomputed per column to reflect the running U).
-        let du_col: Option<Vec<f64>> = graph.map(|g| {
-            (0..n)
-                .map(|i| g.similarity.row_entries(i).map(|(t, w)| w * u.get(t, c)).sum())
-                .collect()
-        });
+        // D·U column c into per-column scratch (recomputed per column to
+        // reflect the running U).
+        if let Some(g) = graph {
+            for i in 0..n {
+                ws.col_scratch[i] = g
+                    .similarity
+                    .row_entries(i)
+                    .map(|(t, w)| w * u.get(t, c))
+                    .sum();
+            }
+        }
         for i in 0..n {
             let mut numer = 0.0;
             let mut denom = 0.0;
-            for j in 0..m {
-                if omega.get(i, j) {
-                    let vkj = v.get(c, j);
-                    numer += vkj * r.get(i, j);
-                    denom += vkj * vkj;
-                }
+            for (j, slot) in pattern.row_entries(i) {
+                let vkj = v.get(c, j);
+                numer += vkj * r[slot];
+                denom += vkj * vkj;
             }
             let old = u.get(i, c);
             numer += old * denom;
-            if let (Some(du), Some(w)) = (&du_col, &diag_w) {
-                numer += lambda * du[i];
-                denom += lambda * w[i];
+            if let Some(g) = graph {
+                numer += ctx.lambda * ws.col_scratch[i];
+                denom += ctx.lambda * g.degree.get(i, i);
             }
             let new = (numer / (denom + EPS)).max(0.0);
             if new != old {
-                // maintain the masked residual: r_ij -= (new-old) * v_cj
+                // maintain the packed residual: r_e -= (new-old) * v_cj
                 let delta = new - old;
-                for j in 0..m {
-                    if omega.get(i, j) {
-                        let val = r.get(i, j) - delta * v.get(c, j);
-                        r.set(i, j, val);
-                    }
+                for (j, slot) in pattern.row_entries(i) {
+                    r[slot] -= delta * v.get(c, j);
                 }
                 u.set(i, c, new);
             }
         }
     }
 
-    // ---- V sweep: live columns only ----
+    // ---- V sweep: live columns only, CSC-driven ----
     for c in 0..k {
         for j in v_start..m {
             let mut numer = 0.0;
             let mut denom = 0.0;
-            for i in 0..n {
-                if omega.get(i, j) {
-                    let uic = u.get(i, c);
-                    numer += uic * r.get(i, j);
-                    denom += uic * uic;
-                }
+            for (i, slot) in pattern.col_entries(j) {
+                let uic = u.get(i, c);
+                numer += uic * r[slot];
+                denom += uic * uic;
             }
             let old = v.get(c, j);
             numer += old * denom;
             let new = (numer / (denom + EPS)).max(0.0);
             if new != old {
                 let delta = new - old;
-                for i in 0..n {
-                    if omega.get(i, j) {
-                        let val = r.get(i, j) - delta * u.get(i, c);
-                        r.set(i, j, val);
-                    }
+                for (i, slot) in pattern.col_entries(j) {
+                    r[slot] -= delta * u.get(i, c);
                 }
                 v.set(c, j, new);
             }
         }
     }
-    debug_assert!(landmarks.is_none_or(|lm| lm.verify_injected(v)));
-    masked_product(u, v, omega)
+    debug_assert!(ctx.landmarks.is_none_or(|lm| lm.verify_injected(v)));
+
+    // Recompute the reconstruction exactly (the incremental residual is
+    // within FP noise, but the cached uv_vals must be bit-faithful for
+    // the next step's warm start).
+    v.transpose_into(&mut ws.vt)?;
+    pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+    ws.uv_fresh = true;
+    pattern.fit_term(&ws.uv_vals)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::objective::objective_with_reconstruction;
+    use crate::landmarks::Landmarks;
+    use crate::objective::objective_from_fit_term;
+    use smfl_linalg::kernels::ObservedPattern;
     use smfl_linalg::random::{positive_uniform_matrix, uniform_matrix};
-    use smfl_spatial::NeighborSearch;
+    use smfl_linalg::Mask;
+    use smfl_spatial::{NeighborSearch, SpatialGraph};
 
     struct Setup {
         x: Matrix,
         masked_x: Matrix,
         omega: Mask,
+        pattern: ObservedPattern,
         graph: SpatialGraph,
     }
 
@@ -144,23 +156,43 @@ mod tests {
         let si = x.columns(0, 2).unwrap();
         let graph = SpatialGraph::build(&si, 3, NeighborSearch::KdTree).unwrap();
         let masked_x = omega.apply(&x).unwrap();
-        Setup { x, masked_x, omega, graph }
+        let pattern = ObservedPattern::compile(&x, &omega).unwrap();
+        Setup { x, masked_x, omega, pattern, graph }
+    }
+
+    impl Setup {
+        fn ctx<'a>(
+            &'a self,
+            graph: bool,
+            lambda: f64,
+            landmarks: Option<&'a Landmarks>,
+        ) -> UpdateContext<'a> {
+            UpdateContext {
+                masked_x: &self.masked_x,
+                omega: &self.omega,
+                pattern: &self.pattern,
+                graph: graph.then_some(&self.graph),
+                lambda,
+                landmarks,
+            }
+        }
     }
 
     #[test]
     fn objective_non_increasing_under_hals() {
         let s = setup(30, 5, 1);
+        let ctx = s.ctx(true, 0.2, None);
+        let mut ws = Workspace::new(&s.pattern, 4);
         let mut u = positive_uniform_matrix(30, 4, 2).scale(0.25);
         let mut v = positive_uniform_matrix(4, 5, 3);
         let mut prev = f64::INFINITY;
         for _ in 0..15 {
-            let r = hals_step(&s.masked_x, &s.omega, Some(&s.graph), 0.2, None, &mut u, &mut v)
-                .unwrap();
-            let obj = objective_with_reconstruction(&s.x, &s.omega, &r, &u, 0.2, Some(&s.graph))
-                .unwrap();
+            let fit = hals_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
+            let obj = objective_from_fit_term(fit, &u, 0.2, Some(&s.graph)).unwrap();
             assert!(obj <= prev + 1e-9, "objective rose: {prev} -> {obj}");
             prev = obj;
         }
+        let _ = &s.x;
     }
 
     #[test]
@@ -168,12 +200,13 @@ mod tests {
         let s = setup(25, 5, 4);
         let si = s.x.columns(0, 2).unwrap();
         let lm = Landmarks::compute(&si, 3, 300, 0).unwrap();
+        let ctx = s.ctx(true, 0.1, Some(&lm));
+        let mut ws = Workspace::new(&s.pattern, 3);
         let mut u = positive_uniform_matrix(25, 3, 5).scale(1.0 / 3.0);
         let mut v = positive_uniform_matrix(3, 5, 6);
         lm.inject(&mut v).unwrap();
         for _ in 0..8 {
-            hals_step(&s.masked_x, &s.omega, Some(&s.graph), 0.1, Some(&lm), &mut u, &mut v)
-                .unwrap();
+            hals_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
             assert!(u.is_nonnegative(0.0));
             assert!(v.is_nonnegative(0.0));
             assert!(lm.verify_injected(&v));
@@ -187,30 +220,27 @@ mod tests {
         let s = setup(40, 6, 7);
         let sweeps = 10;
         let run_hals = || {
+            let ctx = s.ctx(false, 0.0, None);
+            let mut ws = Workspace::new(&s.pattern, 4);
             let mut u = positive_uniform_matrix(40, 4, 8).scale(0.25);
             let mut v = positive_uniform_matrix(4, 6, 9);
             let mut obj = f64::INFINITY;
             for _ in 0..sweeps {
-                let r = hals_step(&s.masked_x, &s.omega, None, 0.0, None, &mut u, &mut v)
-                    .unwrap();
-                obj = objective_with_reconstruction(&s.x, &s.omega, &r, &u, 0.0, None).unwrap();
+                let fit = hals_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
+                obj = objective_from_fit_term(fit, &u, 0.0, None).unwrap();
             }
             obj
         };
         let run_multi = || {
-            let ctx = crate::updater::UpdateContext {
-                masked_x: &s.masked_x,
-                omega: &s.omega,
-                graph: None,
-                lambda: 0.0,
-                landmarks: None,
-            };
+            let ctx = s.ctx(false, 0.0, None);
+            let mut ws = Workspace::new(&s.pattern, 4);
             let mut u = positive_uniform_matrix(40, 4, 8).scale(0.25);
             let mut v = positive_uniform_matrix(4, 6, 9);
             let mut obj = f64::INFINITY;
             for _ in 0..sweeps {
-                let r = crate::updater::multiplicative_step(&ctx, &mut u, &mut v).unwrap();
-                obj = objective_with_reconstruction(&s.x, &s.omega, &r, &u, 0.0, None).unwrap();
+                let fit =
+                    crate::updater::multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
+                obj = objective_from_fit_term(fit, &u, 0.0, None).unwrap();
             }
             obj
         };
@@ -223,13 +253,23 @@ mod tests {
 
     #[test]
     fn residual_bookkeeping_is_exact() {
-        // After a sweep, the maintained residual must equal the freshly
-        // computed one (catching incremental-update bugs).
+        // After a sweep, the incrementally maintained packed residual
+        // must match the freshly recomputed reconstruction (catching
+        // incremental-update bugs).
         let s = setup(20, 4, 10);
+        let ctx = s.ctx(false, 0.0, None);
+        let mut ws = Workspace::new(&s.pattern, 3);
         let mut u = positive_uniform_matrix(20, 3, 11).scale(1.0 / 3.0);
         let mut v = positive_uniform_matrix(3, 4, 12);
-        let r = hals_step(&s.masked_x, &s.omega, None, 0.0, None, &mut u, &mut v).unwrap();
-        let fresh = masked_product(&u, &v, &s.omega).unwrap();
-        assert!(r.approx_eq(&fresh, 1e-9));
+        hals_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
+        // ws.res_vals holds the maintained residual for the *final*
+        // factors; compare to x - fresh SDDMM (ws.uv_vals is fresh).
+        for (slot, (&res, &uv)) in ws.res_vals.iter().zip(&ws.uv_vals).enumerate() {
+            let fresh = s.pattern.x_vals()[slot] - uv;
+            assert!(
+                (res - fresh).abs() < 1e-9,
+                "slot {slot}: maintained {res} vs fresh {fresh}"
+            );
+        }
     }
 }

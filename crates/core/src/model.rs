@@ -8,10 +8,10 @@
 
 use crate::config::{SmflConfig, Updater};
 use crate::landmarks::Landmarks;
-use crate::objective::objective_with_reconstruction;
+use crate::objective::objective_from_fit_term;
 use crate::updater::{gradient_step, multiplicative_step, UpdateContext};
 use smfl_linalg::random::positive_uniform_matrix;
-use smfl_linalg::{LinalgError, Mask, Matrix, Result};
+use smfl_linalg::{LinalgError, Mask, Matrix, ObservedPattern, Result, Workspace};
 use smfl_spatial::{fill_missing_si, SpatialGraph};
 
 /// A fitted factorization `X ≈ U·V`.
@@ -161,10 +161,16 @@ fn fit_inner(
         None => None,
     };
 
+    // Compile Ω + X into the fused iteration engine's sparse pattern and
+    // allocate the per-fit scratch once; the update loop below performs
+    // no further heap allocation.
     let masked_x = omega.apply(x)?;
+    let pattern = ObservedPattern::compile(x, omega)?;
+    let mut ws = Workspace::new(&pattern, k);
     let ctx = UpdateContext {
         masked_x: &masked_x,
         omega,
+        pattern: &pattern,
         graph: graph.as_ref(),
         lambda: config.lambda,
         landmarks: landmarks.as_ref(),
@@ -175,22 +181,14 @@ fn fit_inner(
     let mut converged = false;
     let mut iterations = 0;
     for t in 0..config.max_iter {
-        let r = match config.updater {
-            Updater::Multiplicative => multiplicative_step(&ctx, &mut u, &mut v)?,
+        let fit_t = match config.updater {
+            Updater::Multiplicative => multiplicative_step(&ctx, &mut ws, &mut u, &mut v)?,
             Updater::GradientDescent { learning_rate } => {
-                gradient_step(&ctx, &mut u, &mut v, learning_rate)?
+                gradient_step(&ctx, &mut ws, &mut u, &mut v, learning_rate)?
             }
-            Updater::Hals => crate::hals::hals_step(
-                &masked_x,
-                omega,
-                graph.as_ref(),
-                config.lambda,
-                landmarks.as_ref(),
-                &mut u,
-                &mut v,
-            )?,
+            Updater::Hals => crate::hals::hals_step(&ctx, &mut ws, &mut u, &mut v)?,
         };
-        let obj = objective_with_reconstruction(x, omega, &r, &u, config.lambda, graph.as_ref())?;
+        let obj = objective_from_fit_term(fit_t, &u, config.lambda, graph.as_ref())?;
         if !obj.is_finite() {
             return Err(LinalgError::NoConvergence {
                 routine: "smfl_fit",

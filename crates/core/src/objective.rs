@@ -25,8 +25,25 @@ pub fn objective(
     objective_with_reconstruction(x, omega, &r, u, lambda, graph)
 }
 
+/// Completes the objective from an already computed fit term
+/// `‖R_Ω(X − UV)‖_F²` — the value every engine step returns — by adding
+/// the spatial penalty `λ·Tr(Uᵀ L U)`. The fit loop uses this so no
+/// dense reconstruction is ever formed for the objective.
+pub fn objective_from_fit_term(
+    fit_term: f64,
+    u: &Matrix,
+    lambda: f64,
+    graph: Option<&SpatialGraph>,
+) -> Result<f64> {
+    let reg_term = match graph {
+        Some(g) if lambda != 0.0 => lambda * g.regularization(u)?,
+        _ => 0.0,
+    };
+    Ok(fit_term + reg_term)
+}
+
 /// Evaluates the objective given the already computed `R_Ω(U·V)`;
-/// the fit loop uses this to avoid recomputing the masked product.
+/// kept for callers that hold a dense masked reconstruction.
 pub fn objective_with_reconstruction(
     x: &Matrix,
     omega: &Mask,
@@ -108,5 +125,24 @@ mod tests {
         let a = objective(&x, &omega, &u, &v, 0.0, None).unwrap();
         let b = objective_with_reconstruction(&x, &omega, &r, &u, 0.0, None).unwrap();
         assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_term_variant_matches_scratch() {
+        let si = uniform_matrix(9, 2, 0.0, 1.0, 20);
+        let g = SpatialGraph::build(&si, 2, NeighborSearch::KdTree).unwrap();
+        let x = uniform_matrix(9, 4, 0.0, 1.0, 21);
+        let u = positive_uniform_matrix(9, 3, 22);
+        let v = positive_uniform_matrix(3, 4, 23);
+        let mut omega = Mask::full(9, 4);
+        omega.set(2, 1, false);
+        let pattern = smfl_linalg::ObservedPattern::compile(&x, &omega).unwrap();
+        let vt = v.transpose();
+        let mut uv = vec![0.0; pattern.nnz()];
+        pattern.sddmm_into(&u, &vt, &mut uv).unwrap();
+        let fit = pattern.fit_term(&uv).unwrap();
+        let a = objective_from_fit_term(fit, &u, 0.7, Some(&g)).unwrap();
+        let b = objective(&x, &omega, &u, &v, 0.7, Some(&g)).unwrap();
+        assert!((a - b).abs() < 1e-10);
     }
 }

@@ -1,4 +1,4 @@
-//! The two optimizers of paper §III-B.
+//! The two optimizers of paper §III-B, on the fused iteration engine.
 //!
 //! - [`multiplicative_step`] — the self-adaptive multiplicative rules
 //!   (Formulas 13/14). Numerators and denominators are elementwise
@@ -9,15 +9,32 @@
 //!   learning rate (§III-B1), kept feasible by clamping at zero. This is
 //!   the `SMF-GD` optimizer of Fig. 5.
 //!
+//! Both run on the sparse-residual engine of `smfl_linalg::kernels`:
+//! the reconstruction is evaluated at observed entries only (SDDMM into
+//! the packed [`Workspace::uv_vals`]) and the four update-rule products
+//! are CSR SpMM / SpMMᵀ against the per-fit [`ObservedPattern`]. All
+//! scratch lives in the caller's [`Workspace`], so a step performs **no
+//! heap allocation** (the dense path allocates its `N x M` buffer once,
+//! on the first iteration). For masks denser than
+//! `kernels::DENSE_PATH_THRESHOLD` the multiplicative step switches to
+//! the dense matmul path, which wins on fully-observed data.
+//!
+//! Each step returns the **fit term** `‖R_Ω(X − UV)‖_F²` for the final
+//! factors, which [`crate::objective::objective_from_fit_term`]
+//! completes into the full objective — no dense reconstruction ever
+//! reaches the caller. The step also leaves `ws.uv_vals` valid for the
+//! returned factors (`ws.uv_fresh`), letting the next step skip its
+//! opening SDDMM; mutate `U`/`V` between steps only via
+//! [`Workspace::invalidate`].
+//!
 //! Landmark handling: `Φ` covers the *whole* first `L` columns of `V`
-//! (Definition 1), so the `V` update simply starts at column `L`. The
-//! `Uᵀ·R_Ω(X)` and `Uᵀ·R_Ω(UV)` products are evaluated only on the
-//! live columns — this is the computation the paper's §IV-E efficiency
-//! claim refers to.
+//! (Definition 1), so the `V` update simply starts at column `L`; the
+//! SpMMᵀ kernel skips the frozen output rows entirely — this is the
+//! computation the paper's §IV-E efficiency claim refers to.
 
 use crate::landmarks::Landmarks;
-use smfl_linalg::mask::masked_product;
-use smfl_linalg::ops::{matmul_at, matmul_bt};
+use smfl_linalg::kernels::{ObservedPattern, Workspace};
+use smfl_linalg::ops::{matmul_at_into, matmul_bt_into, matmul_into};
 use smfl_linalg::{Mask, Matrix, Result};
 use smfl_spatial::SpatialGraph;
 
@@ -26,10 +43,12 @@ pub const EPS: f64 = 1e-12;
 
 /// Immutable per-fit quantities shared by every iteration.
 pub struct UpdateContext<'a> {
-    /// `R_Ω(X)` — the masked data matrix, precomputed once.
+    /// `R_Ω(X)` — the masked data matrix (dense path only).
     pub masked_x: &'a Matrix,
     /// The observation mask `Ω`.
     pub omega: &'a Mask,
+    /// `Ω` + observed `X`, compiled once per fit (sparse engine).
+    pub pattern: &'a ObservedPattern,
     /// Spatial graph (`None` for plain NMF).
     pub graph: Option<&'a SpatialGraph>,
     /// Regularization weight `λ`.
@@ -45,50 +64,56 @@ impl UpdateContext<'_> {
     }
 }
 
+/// Refreshes `ws.vt` and `ws.uv_vals` for the current `(U, V)` unless
+/// the workspace already vouches for them.
+fn ensure_uv(
+    pattern: &ObservedPattern,
+    ws: &mut Workspace,
+    u: &Matrix,
+    v: &Matrix,
+) -> Result<()> {
+    if !ws.uv_fresh {
+        v.transpose_into(&mut ws.vt)?;
+        pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+    }
+    Ok(())
+}
+
 /// One multiplicative iteration: updates `U` by Formula 13, then `V` by
 /// Formula 14 using the refreshed `U` (Algorithm 1 lines 8-9). Returns
-/// `R_Ω(U·V)` for the *final* `(U, V)` so the caller can evaluate the
-/// objective without an extra masked product.
+/// the fit term `‖R_Ω(X − UV)‖_F²` for the *final* `(U, V)` so the
+/// caller can evaluate the objective without any masked product.
 pub fn multiplicative_step(
     ctx: &UpdateContext<'_>,
+    ws: &mut Workspace,
     u: &mut Matrix,
     v: &mut Matrix,
-) -> Result<Matrix> {
+) -> Result<f64> {
+    if ctx.pattern.prefers_dense() {
+        return multiplicative_step_dense(ctx, ws, u, v);
+    }
+    let pattern = ctx.pattern;
+
     // ---- U update (Formula 13) ----
-    let r = masked_product(u, v, ctx.omega)?; // R_Ω(UV)
-    let mut numer_u = matmul_bt(ctx.masked_x, v)?; // R_Ω(X)·Vᵀ
-    let mut denom_u = matmul_bt(&r, v)?; // R_Ω(UV)·Vᵀ
-    if let (Some(g), true) = (ctx.graph, ctx.lambda != 0.0) {
-        let du = g.similarity.spmm(u)?; // D·U
-        let wu = g.degree.spmm(u)?; // W·U
-        numer_u.axpy(ctx.lambda, &du)?;
-        denom_u.axpy(ctx.lambda, &wu)?;
-    }
-    {
-        let us = u.as_mut_slice();
-        let ns = numer_u.as_slice();
-        let ds = denom_u.as_slice();
-        for ((uv, &n), &d) in us.iter_mut().zip(ns).zip(ds) {
-            *uv *= n / (d + EPS);
-        }
-    }
+    ensure_uv(pattern, ws, u, v)?;
+    pattern.spmm_into(pattern.x_vals(), &ws.vt, &mut ws.numer_u)?; // R_Ω(X)·Vᵀ
+    pattern.spmm_into(&ws.uv_vals, &ws.vt, &mut ws.denom_u)?; // R_Ω(UV)·Vᵀ
+    apply_graph_terms(ctx, ws, u)?;
+    multiplicative_update(u.as_mut_slice(), ws.numer_u.as_slice(), ws.denom_u.as_slice());
 
     // ---- V update (Formula 14), live columns only ----
-    let r2 = masked_product(u, v, ctx.omega)?; // with refreshed U
+    pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?; // with refreshed U
     let start = ctx.v_start_col();
     let m = v.cols();
     if start < m {
-        // Uᵀ·R_Ω(X) and Uᵀ·R_Ω(UV) restricted to live columns: slicing
-        // the (N x M) operands costs O(N·(M-L)) — negligible next to the
-        // O(N·K·(M-L)) products it shrinks.
-        let mx_tail = ctx.masked_x.columns(start, m)?;
-        let r2_tail = r2.columns(start, m)?;
-        let numer_v = matmul_at(u, &mx_tail)?; // K x (M-L)
-        let denom_v = matmul_at(u, &r2_tail)?;
+        // Uᵀ·R_Ω(X) and Uᵀ·R_Ω(UV), transposed layout, frozen landmark
+        // rows skipped inside the kernel.
+        pattern.spmm_t_into(pattern.x_vals(), u, start, &mut ws.numer_vt)?;
+        pattern.spmm_t_into(&ws.uv_vals, u, start, &mut ws.denom_vt)?;
         for k in 0..v.rows() {
             for j in start..m {
-                let n = numer_v.get(k, j - start);
-                let d = denom_v.get(k, j - start);
+                let n = ws.numer_vt.get(j, k);
+                let d = ws.denom_vt.get(j, k);
                 let val = v.get(k, j) * n / (d + EPS);
                 v.set(k, j, val);
             }
@@ -96,54 +121,143 @@ pub fn multiplicative_step(
     }
     // Landmarks were never touched (whole columns skipped), so no
     // re-injection is needed; debug-check the invariant anyway.
-    debug_assert!(ctx
-        .landmarks
-        .is_none_or(|lm| lm.verify_injected(v)));
+    debug_assert!(ctx.landmarks.is_none_or(|lm| lm.verify_injected(v)));
 
-    masked_product(u, v, ctx.omega)
+    v.transpose_into(&mut ws.vt)?;
+    pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+    ws.uv_fresh = true;
+    pattern.fit_term(&ws.uv_vals)
 }
 
-/// One projected-gradient iteration (paper §III-B1). Returns `R_Ω(U·V)`
-/// for the updated factors.
+/// Dense-path multiplicative step: `R_Ω(UV)` via full matmul +
+/// in-place masking into the workspace's lazily allocated `N x M`
+/// buffer. Faster than the sparse kernels above
+/// `kernels::DENSE_PATH_THRESHOLD` density.
+fn multiplicative_step_dense(
+    ctx: &UpdateContext<'_>,
+    ws: &mut Workspace,
+    u: &mut Matrix,
+    v: &mut Matrix,
+) -> Result<f64> {
+    if !ws.uv_fresh {
+        ws.dense_r(); // ensure the buffer exists (one-time allocation)
+        let dr = ws.dense_r.as_mut().expect("just ensured");
+        matmul_into(u, v, dr)?;
+        ctx.omega.zero_unset(dr)?;
+    }
+
+    // ---- U update ----
+    {
+        let dr = ws.dense_r.as_mut().expect("dense path buffer");
+        matmul_bt_into(ctx.masked_x, v, &mut ws.numer_u)?; // R_Ω(X)·Vᵀ
+        matmul_bt_into(dr, v, &mut ws.denom_u)?; // R_Ω(UV)·Vᵀ
+    }
+    apply_graph_terms(ctx, ws, u)?;
+    multiplicative_update(u.as_mut_slice(), ws.numer_u.as_slice(), ws.denom_u.as_slice());
+
+    // ---- V update ----
+    let start = ctx.v_start_col();
+    let m = v.cols();
+    {
+        let dr = ws.dense_r.as_mut().expect("dense path buffer");
+        matmul_into(u, v, dr)?; // with refreshed U
+        ctx.omega.zero_unset(dr)?;
+        if start < m {
+            // (R_Ω(·))ᵀ·U in the same transposed M x K layout as the
+            // sparse kernel. Full width — the frozen landmark rows cost
+            // `L/M` extra work, negligible for L ≪ M.
+            matmul_at_into(ctx.masked_x, u, &mut ws.numer_vt)?;
+            matmul_at_into(dr, u, &mut ws.denom_vt)?;
+        }
+    }
+    if start < m {
+        for k in 0..v.rows() {
+            for j in start..m {
+                let n = ws.numer_vt.get(j, k);
+                let d = ws.denom_vt.get(j, k);
+                let val = v.get(k, j) * n / (d + EPS);
+                v.set(k, j, val);
+            }
+        }
+    }
+    debug_assert!(ctx.landmarks.is_none_or(|lm| lm.verify_injected(v)));
+
+    let dr = ws.dense_r.as_mut().expect("dense path buffer");
+    matmul_into(u, v, dr)?;
+    ctx.omega.zero_unset(dr)?;
+    ctx.pattern.gather_into(dr, &mut ws.uv_vals)?;
+    ws.uv_fresh = true;
+    ctx.pattern.fit_term(&ws.uv_vals)
+}
+
+/// Adds the spatial terms of Formula 13 (`+λ·D·U` to the numerator,
+/// `+λ·W·U` to the denominator) via allocation-free sparse products.
+fn apply_graph_terms(ctx: &UpdateContext<'_>, ws: &mut Workspace, u: &Matrix) -> Result<()> {
+    if let (Some(g), true) = (ctx.graph, ctx.lambda != 0.0) {
+        g.similarity.spmm_into(u, &mut ws.reg_a)?; // D·U
+        g.degree.spmm_into(u, &mut ws.reg_b)?; // W·U
+        ws.numer_u.axpy(ctx.lambda, &ws.reg_a)?;
+        ws.denom_u.axpy(ctx.lambda, &ws.reg_b)?;
+    }
+    Ok(())
+}
+
+/// `x *= n / (d + EPS)` elementwise — the multiplicative rule core.
+fn multiplicative_update(x: &mut [f64], numer: &[f64], denom: &[f64]) {
+    for ((xv, &n), &d) in x.iter_mut().zip(numer).zip(denom) {
+        *xv *= n / (d + EPS);
+    }
+}
+
+/// One projected-gradient iteration (paper §III-B1). Returns the fit
+/// term for the updated factors. Always runs on the sparse engine (the
+/// gradient only ever needs the masked residual).
 pub fn gradient_step(
     ctx: &UpdateContext<'_>,
+    ws: &mut Workspace,
     u: &mut Matrix,
     v: &mut Matrix,
     learning_rate: f64,
-) -> Result<Matrix> {
-    // ∂O/∂U = −2·R_Ω(X)·Vᵀ + 2·R_Ω(UV)·Vᵀ + 2λ·L·U
-    let r = masked_product(u, v, ctx.omega)?;
-    let diff = r.sub(ctx.masked_x)?; // R_Ω(UV) − R_Ω(X)
-    let mut grad_u = matmul_bt(&diff, v)?.scale(2.0);
+) -> Result<f64> {
+    let pattern = ctx.pattern;
+
+    // ∂O/∂U = −2·R_Ω(X − UV)·Vᵀ + 2λ·L·U
+    ensure_uv(pattern, ws, u, v)?;
+    pattern.residual_into(&ws.uv_vals, &mut ws.res_vals)?; // R_Ω(X − UV)
+    pattern.spmm_into(&ws.res_vals, &ws.vt, &mut ws.numer_u)?;
     if let (Some(g), true) = (ctx.graph, ctx.lambda != 0.0) {
-        let lu = g.laplacian.spmm(u)?;
-        grad_u.axpy(2.0 * ctx.lambda, &lu)?;
+        g.laplacian.spmm_into(u, &mut ws.reg_a)?;
+        u.axpy(-2.0 * learning_rate * ctx.lambda, &ws.reg_a)?;
     }
-    u.axpy(-learning_rate, &grad_u)?;
+    u.axpy(2.0 * learning_rate, &ws.numer_u)?;
     u.clamp_min(0.0);
 
-    // ∂O/∂V = 2·Uᵀ·(R_Ω(UV) − R_Ω(X)), frozen columns get zero gradient.
-    let r2 = masked_product(u, v, ctx.omega)?;
-    let diff2 = r2.sub(ctx.masked_x)?;
-    let grad_v = matmul_at(u, &diff2)?.scale(2.0);
+    // ∂O/∂V = −2·Uᵀ·R_Ω(X − UV), frozen columns get zero gradient.
+    pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+    pattern.residual_into(&ws.uv_vals, &mut ws.res_vals)?;
     let start = ctx.v_start_col();
-    for k in 0..v.rows() {
-        for j in start..v.cols() {
-            let val = (v.get(k, j) - learning_rate * grad_v.get(k, j)).max(0.0);
-            v.set(k, j, val);
+    if start < v.cols() {
+        pattern.spmm_t_into(&ws.res_vals, u, start, &mut ws.numer_vt)?;
+        for k in 0..v.rows() {
+            for j in start..v.cols() {
+                let step = 2.0 * learning_rate * ws.numer_vt.get(j, k);
+                let val = (v.get(k, j) + step).max(0.0);
+                v.set(k, j, val);
+            }
         }
     }
-    debug_assert!(ctx
-        .landmarks
-        .is_none_or(|lm| lm.verify_injected(v)));
+    debug_assert!(ctx.landmarks.is_none_or(|lm| lm.verify_injected(v)));
 
-    masked_product(u, v, ctx.omega)
+    v.transpose_into(&mut ws.vt)?;
+    pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+    ws.uv_fresh = true;
+    pattern.fit_term(&ws.uv_vals)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::objective::objective_with_reconstruction;
+    use crate::objective::objective_from_fit_term;
     use smfl_linalg::random::{positive_uniform_matrix, uniform_matrix};
     use smfl_spatial::NeighborSearch;
 
@@ -151,6 +265,7 @@ mod tests {
         x: Matrix,
         masked_x: Matrix,
         omega: Mask,
+        pattern: ObservedPattern,
         graph: SpatialGraph,
     }
 
@@ -166,11 +281,31 @@ mod tests {
         let si = x.columns(0, 2).unwrap();
         let graph = SpatialGraph::build(&si, 3, NeighborSearch::KdTree).unwrap();
         let masked_x = omega.apply(&x).unwrap();
+        let pattern = ObservedPattern::compile(&x, &omega).unwrap();
         Setup {
             x,
             masked_x,
             omega,
+            pattern,
             graph,
+        }
+    }
+
+    impl Setup {
+        fn ctx<'a>(
+            &'a self,
+            graph: bool,
+            lambda: f64,
+            landmarks: Option<&'a Landmarks>,
+        ) -> UpdateContext<'a> {
+            UpdateContext {
+                masked_x: &self.masked_x,
+                omega: &self.omega,
+                pattern: &self.pattern,
+                graph: graph.then_some(&self.graph),
+                lambda,
+                landmarks,
+            }
         }
     }
 
@@ -179,40 +314,29 @@ mod tests {
         // Paper Propositions 5 & 7, smoke version (the full property test
         // lives in tests/convergence.rs).
         let s = setup(30, 5, 1);
-        let ctx = UpdateContext {
-            masked_x: &s.masked_x,
-            omega: &s.omega,
-            graph: Some(&s.graph),
-            lambda: 0.1,
-            landmarks: None,
-        };
+        let ctx = s.ctx(true, 0.1, None);
+        let mut ws = Workspace::new(&s.pattern, 4);
         let mut u = positive_uniform_matrix(30, 4, 2);
         let mut v = positive_uniform_matrix(4, 5, 3);
         let mut prev = f64::INFINITY;
         for _ in 0..20 {
-            let r = multiplicative_step(&ctx, &mut u, &mut v).unwrap();
-            let obj =
-                objective_with_reconstruction(&s.x, &s.omega, &r, &u, 0.1, Some(&s.graph))
-                    .unwrap();
+            let fit = multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
+            let obj = objective_from_fit_term(fit, &u, 0.1, Some(&s.graph)).unwrap();
             assert!(obj <= prev + 1e-9, "objective rose: {prev} -> {obj}");
             prev = obj;
         }
+        let _ = &s.x;
     }
 
     #[test]
     fn multiplicative_preserves_nonnegativity() {
         let s = setup(20, 4, 5);
-        let ctx = UpdateContext {
-            masked_x: &s.masked_x,
-            omega: &s.omega,
-            graph: Some(&s.graph),
-            lambda: 0.5,
-            landmarks: None,
-        };
+        let ctx = s.ctx(true, 0.5, None);
+        let mut ws = Workspace::new(&s.pattern, 3);
         let mut u = positive_uniform_matrix(20, 3, 6);
         let mut v = positive_uniform_matrix(3, 4, 7);
         for _ in 0..10 {
-            multiplicative_step(&ctx, &mut u, &mut v).unwrap();
+            multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
             assert!(u.is_nonnegative(0.0));
             assert!(v.is_nonnegative(0.0));
             assert!(u.all_finite());
@@ -226,21 +350,16 @@ mod tests {
         let si = s.x.columns(0, 2).unwrap();
         let lm = Landmarks::compute(&si, 3, 300, 0).unwrap();
         for gd in [false, true] {
-            let ctx = UpdateContext {
-                masked_x: &s.masked_x,
-                omega: &s.omega,
-                graph: Some(&s.graph),
-                lambda: 0.1,
-                landmarks: Some(&lm),
-            };
+            let ctx = s.ctx(true, 0.1, Some(&lm));
+            let mut ws = Workspace::new(&s.pattern, 3);
             let mut u = positive_uniform_matrix(25, 3, 9);
             let mut v = positive_uniform_matrix(3, 5, 10);
             lm.inject(&mut v).unwrap();
             for _ in 0..8 {
                 if gd {
-                    gradient_step(&ctx, &mut u, &mut v, 0.01).unwrap();
+                    gradient_step(&ctx, &mut ws, &mut u, &mut v, 0.01).unwrap();
                 } else {
-                    multiplicative_step(&ctx, &mut u, &mut v).unwrap();
+                    multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
                 }
                 assert!(lm.verify_injected(&v), "landmarks drifted (gd={gd})");
             }
@@ -250,22 +369,15 @@ mod tests {
     #[test]
     fn gradient_step_reduces_objective_with_small_lr() {
         let s = setup(20, 4, 11);
-        let ctx = UpdateContext {
-            masked_x: &s.masked_x,
-            omega: &s.omega,
-            graph: None,
-            lambda: 0.0,
-            landmarks: None,
-        };
+        let ctx = s.ctx(false, 0.0, None);
+        let mut ws = Workspace::new(&s.pattern, 3);
         let mut u = positive_uniform_matrix(20, 3, 12);
         let mut v = positive_uniform_matrix(3, 4, 13);
-        let r0 = masked_product(&u, &v, &s.omega).unwrap();
-        let before =
-            objective_with_reconstruction(&s.x, &s.omega, &r0, &u, 0.0, None).unwrap();
+        let before = crate::objective::objective(&s.x, &s.omega, &u, &v, 0.0, None).unwrap();
         let mut last = before;
         for _ in 0..50 {
-            let r = gradient_step(&ctx, &mut u, &mut v, 1e-3).unwrap();
-            last = objective_with_reconstruction(&s.x, &s.omega, &r, &u, 0.0, None).unwrap();
+            let fit = gradient_step(&ctx, &mut ws, &mut u, &mut v, 1e-3).unwrap();
+            last = objective_from_fit_term(fit, &u, 0.0, None).unwrap();
         }
         assert!(last < before, "GD failed to reduce objective: {before} -> {last}");
         assert!(u.is_nonnegative(0.0) && v.is_nonnegative(0.0));
@@ -282,24 +394,27 @@ mod tests {
         }
         let masked_x2 = s.omega.apply(&x2).unwrap();
         assert!(masked_x2.approx_eq(&s.masked_x, 0.0));
+        let pattern2 = ObservedPattern::compile(&x2, &s.omega).unwrap();
 
-        let run = |mx: &Matrix| {
+        let run = |mx: &Matrix, pattern: &ObservedPattern| {
             let ctx = UpdateContext {
                 masked_x: mx,
                 omega: &s.omega,
+                pattern,
                 graph: Some(&s.graph),
                 lambda: 0.1,
                 landmarks: None,
             };
+            let mut ws = Workspace::new(pattern, 3);
             let mut u = positive_uniform_matrix(15, 3, 15);
             let mut v = positive_uniform_matrix(3, 4, 16);
             for _ in 0..5 {
-                multiplicative_step(&ctx, &mut u, &mut v).unwrap();
+                multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
             }
             (u, v)
         };
-        let (u1, v1) = run(&s.masked_x);
-        let (u2, v2) = run(&masked_x2);
+        let (u1, v1) = run(&s.masked_x, &s.pattern);
+        let (u2, v2) = run(&masked_x2, &pattern2);
         assert!(u1.approx_eq(&u2, 0.0));
         assert!(v1.approx_eq(&v2, 0.0));
     }
@@ -311,23 +426,77 @@ mod tests {
         let mut v1 = positive_uniform_matrix(2, 4, 22);
         let mut u2 = u1.clone();
         let mut v2 = v1.clone();
-        let with_graph = UpdateContext {
-            masked_x: &s.masked_x,
-            omega: &s.omega,
-            graph: Some(&s.graph),
-            lambda: 0.0,
-            landmarks: None,
-        };
-        let without = UpdateContext {
-            masked_x: &s.masked_x,
-            omega: &s.omega,
-            graph: None,
-            lambda: 0.0,
-            landmarks: None,
-        };
-        multiplicative_step(&with_graph, &mut u1, &mut v1).unwrap();
-        multiplicative_step(&without, &mut u2, &mut v2).unwrap();
+        let with_graph = s.ctx(true, 0.0, None);
+        let without = s.ctx(false, 0.0, None);
+        let mut ws1 = Workspace::new(&s.pattern, 2);
+        let mut ws2 = Workspace::new(&s.pattern, 2);
+        multiplicative_step(&with_graph, &mut ws1, &mut u1, &mut v1).unwrap();
+        multiplicative_step(&without, &mut ws2, &mut u2, &mut v2).unwrap();
         assert!(u1.approx_eq(&u2, 0.0));
         assert!(v1.approx_eq(&v2, 0.0));
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_agree() {
+        // Same data, two patterns either side of the density threshold
+        // forced through both code paths must produce near-identical
+        // factors. We fake it by running the dense helper directly.
+        let s = setup(18, 5, 30);
+        let ctx = s.ctx(true, 0.2, None);
+        let mut ws_sparse = Workspace::new(&s.pattern, 3);
+        let mut ws_dense = Workspace::new(&s.pattern, 3);
+        let mut u1 = positive_uniform_matrix(18, 3, 31);
+        let mut v1 = positive_uniform_matrix(3, 5, 32);
+        let mut u2 = u1.clone();
+        let mut v2 = v1.clone();
+        for _ in 0..6 {
+            let f1 = multiplicative_step_dense(&ctx, &mut ws_dense, &mut u2, &mut v2).unwrap();
+            // ~90% observed ⇒ public entry point takes the dense path
+            // too; call the sparse internals explicitly via a fresh
+            // low-density-agnostic run.
+            ws_sparse.invalidate();
+            let f1s = {
+                // force the sparse path by bypassing prefers_dense
+                let pattern = ctx.pattern;
+                ensure_uv(pattern, &mut ws_sparse, &u1, &v1).unwrap();
+                pattern
+                    .spmm_into(pattern.x_vals(), &ws_sparse.vt, &mut ws_sparse.numer_u)
+                    .unwrap();
+                pattern
+                    .spmm_into(&ws_sparse.uv_vals, &ws_sparse.vt, &mut ws_sparse.denom_u)
+                    .unwrap();
+                apply_graph_terms(&ctx, &mut ws_sparse, &u1).unwrap();
+                multiplicative_update(
+                    u1.as_mut_slice(),
+                    ws_sparse.numer_u.as_slice(),
+                    ws_sparse.denom_u.as_slice(),
+                );
+                pattern
+                    .sddmm_into(&u1, &ws_sparse.vt, &mut ws_sparse.uv_vals)
+                    .unwrap();
+                pattern
+                    .spmm_t_into(pattern.x_vals(), &u1, 0, &mut ws_sparse.numer_vt)
+                    .unwrap();
+                pattern
+                    .spmm_t_into(&ws_sparse.uv_vals, &u1, 0, &mut ws_sparse.denom_vt)
+                    .unwrap();
+                for k in 0..v1.rows() {
+                    for j in 0..v1.cols() {
+                        let n = ws_sparse.numer_vt.get(j, k);
+                        let d = ws_sparse.denom_vt.get(j, k);
+                        let val = v1.get(k, j) * n / (d + EPS);
+                        v1.set(k, j, val);
+                    }
+                }
+                v1.transpose_into(&mut ws_sparse.vt).unwrap();
+                pattern
+                    .sddmm_into(&u1, &ws_sparse.vt, &mut ws_sparse.uv_vals)
+                    .unwrap();
+                pattern.fit_term(&ws_sparse.uv_vals).unwrap()
+            };
+            assert!((f1 - f1s).abs() <= 1e-10 * f1.abs().max(1.0));
+            assert!(u1.approx_eq(&u2, 1e-10));
+            assert!(v1.approx_eq(&v2, 1e-10));
+        }
     }
 }

@@ -58,7 +58,10 @@ proptest! {
         m in 3usize..8,
         rank in 2usize..4,
         lambda in 0.01f64..2.0,
-        missing in 0u32..40,
+        // 0-80% missing straddles the engine's dense-path threshold
+        // (50% density), so both the sparse SpMM path and the dense matmul
+        // path are exercised by this property.
+        missing in 0u32..80,
         seed in 0u64..10_000,
     ) {
         let (x, omega) = problem(n, m, seed, missing);

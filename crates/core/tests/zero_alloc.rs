@@ -1,0 +1,122 @@
+//! The engine's headline contract: after the first iteration, the
+//! multiplicative update loop performs **zero heap allocations** — all
+//! scratch lives in the per-fit `Workspace` and is reused verbatim.
+//!
+//! Verified two ways:
+//! 1. a counting global allocator observes no `alloc` calls across the
+//!    steady-state iterations (warmup runs first so lazily created
+//!    buffers exist);
+//! 2. the workspace buffers keep their addresses across iterations
+//!    (pointer stability — no free+realloc churn either).
+//!
+//! This file deliberately holds exactly ONE `#[test]`: the allocation
+//! counter is process-global, and Rust runs tests in the same binary
+//! concurrently, so any sibling test would pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+use smfl_core::updater::{multiplicative_step, UpdateContext};
+use smfl_linalg::random::{positive_uniform_matrix, uniform_matrix};
+use smfl_linalg::{Mask, ObservedPattern, Workspace};
+
+#[test]
+fn multiplicative_step_allocates_nothing_after_warmup() {
+    // Small enough to stay under the kernels' parallel-dispatch
+    // threshold (thread spawning allocates); sparse enough (≈30%
+    // observed) to take the SpMM path, which is the hot production case.
+    let (n, m, k) = (60, 20, 4);
+    let x = uniform_matrix(n, m, 0.0, 1.0, 7);
+    let sel = uniform_matrix(n, m, 0.0, 1.0, 8);
+    let mut omega = Mask::empty(n, m);
+    for i in 0..n {
+        for j in 0..m {
+            if sel.get(i, j) < 0.3 {
+                omega.set(i, j, true);
+            }
+        }
+    }
+    for j in 0..m {
+        omega.set(0, j, true); // every column observed at least once
+    }
+    let masked_x = omega.apply(&x).unwrap();
+    let pattern = ObservedPattern::compile(&x, &omega).unwrap();
+    assert!(!pattern.prefers_dense(), "test must exercise the sparse path");
+
+    let ctx = UpdateContext {
+        masked_x: &masked_x,
+        omega: &omega,
+        pattern: &pattern,
+        graph: None,
+        lambda: 0.0,
+        landmarks: None,
+    };
+    let mut ws = Workspace::new(&pattern, k);
+    let mut u = positive_uniform_matrix(n, k, 9);
+    let mut v = positive_uniform_matrix(k, m, 10);
+
+    // Warmup: first iterations may lazily create buffers.
+    for _ in 0..3 {
+        multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
+    }
+
+    let ptrs_before = (
+        ws.uv_vals.as_ptr(),
+        ws.vt.as_slice().as_ptr(),
+        ws.numer_u.as_slice().as_ptr(),
+        ws.denom_u.as_slice().as_ptr(),
+        ws.numer_vt.as_slice().as_ptr(),
+        ws.denom_vt.as_slice().as_ptr(),
+    );
+
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..10 {
+        multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocs, 0,
+        "multiplicative_step heap-allocated {allocs} times across 10 steady-state iterations"
+    );
+
+    let ptrs_after = (
+        ws.uv_vals.as_ptr(),
+        ws.vt.as_slice().as_ptr(),
+        ws.numer_u.as_slice().as_ptr(),
+        ws.denom_u.as_slice().as_ptr(),
+        ws.numer_vt.as_slice().as_ptr(),
+        ws.denom_vt.as_slice().as_ptr(),
+    );
+    assert_eq!(ptrs_before, ptrs_after, "workspace buffers were reallocated");
+    assert!(u.all_finite() && v.all_finite());
+}

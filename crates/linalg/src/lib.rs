@@ -16,6 +16,10 @@
 //!   sparsely.
 //! - [`CsrMatrix`] — sparse storage for the kNN similarity matrix `D`,
 //!   the degree matrix `W` and the graph Laplacian `L` (paper §II-C).
+//! - [`kernels`] — the fused sparse-residual iteration engine:
+//!   [`ObservedPattern`] compiles `Ω` + `X` into CSR/CSC once per fit,
+//!   and SDDMM / SpMM kernels evaluate the update-rule products at
+//!   observed entries only, into a reusable [`Workspace`].
 //! - [`eigen`] / [`svd`] — cyclic-Jacobi symmetric eigensolver and a thin
 //!   SVD (Gram route), powering the MC / SoftImpute / PCA baselines.
 //! - [`random`] — seed-deterministic matrix initialization.
@@ -37,6 +41,7 @@
 
 pub mod eigen;
 pub mod error;
+pub mod kernels;
 pub mod mask;
 pub mod matrix;
 pub mod ops;
@@ -46,6 +51,7 @@ pub mod sparse;
 pub mod svd;
 
 pub use error::{LinalgError, Result};
+pub use kernels::{ObservedPattern, Workspace};
 pub use mask::Mask;
 pub use matrix::Matrix;
 pub use sparse::CsrMatrix;

@@ -8,7 +8,29 @@
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
-use crate::ops::{matmul, matmul_bt};
+use crate::ops::matmul_into;
+
+/// Iterator over the set bits of a single word, ascending, via
+/// `trailing_zeros` + clear-lowest-set-bit — the word-level scan that
+/// powers [`Mask::iter_set`] and [`Mask::iter_row_set`].
+struct WordBits {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for WordBits {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let t = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + t)
+    }
+}
 
 /// Bitset over the cells of an `N x M` matrix.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,22 +170,52 @@ impl Mask {
         })
     }
 
-    /// Iterator over set positions in row-major order.
+    /// Iterator over set positions in row-major order. Scans whole
+    /// 64-bit words (skipping empty ones) rather than testing every bit,
+    /// so sparse masks iterate in `O(words + set bits)`.
     pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let cols = self.cols;
-        (0..self.rows * self.cols)
-            .filter(move |&bit| self.words[bit / 64] >> (bit % 64) & 1 == 1)
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| WordBits { word: w, base: wi * 64 })
             .map(move |bit| (bit / cols, bit % cols))
+    }
+
+    /// Iterator over the set columns of row `i`, ascending. Word-level:
+    /// only the words overlapping the row's bit range are touched, with
+    /// head/tail bits masked off.
+    pub fn iter_row_set(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        debug_assert!(i < self.rows || self.cols == 0);
+        let start_bit = i * self.cols;
+        let end_bit = start_bit + self.cols;
+        let start_word = start_bit / 64;
+        let end_word = end_bit.div_ceil(64);
+        self.words[start_word.min(end_word)..end_word]
+            .iter()
+            .enumerate()
+            .flat_map(move |(k, &w)| {
+                let wbase = (start_word + k) * 64;
+                let mut word = w;
+                if wbase < start_bit {
+                    word &= !0u64 << (start_bit - wbase);
+                }
+                if end_bit - wbase < 64 {
+                    word &= (1u64 << (end_bit - wbase)) - 1;
+                }
+                WordBits { word, base: wbase }
+            })
+            .map(move |bit| bit - start_bit)
     }
 
     /// Set columns of row `i`, collected into a vector.
     pub fn row_set_cols(&self, i: usize) -> Vec<usize> {
-        (0..self.cols).filter(|&j| self.get(i, j)).collect()
+        self.iter_row_set(i).collect()
     }
 
     /// `true` when every cell of row `i` is set.
     pub fn row_is_full(&self, i: usize) -> bool {
-        (0..self.cols).all(|j| self.get(i, j))
+        self.iter_row_set(i).count() == self.cols
     }
 
     /// Applies the mask to `x`: `R_Ω(X)` — keeps masked cells, zeroes the
@@ -205,6 +257,39 @@ impl Mask {
         Ok(out)
     }
 
+    /// Zeroes the cells of `m` *outside* the mask, in place — `apply`
+    /// without the copy. Word-level: full words are skipped, empty words
+    /// become a `fill(0.0)`, mixed words clear bit by bit.
+    pub fn zero_unset(&self, m: &mut Matrix) -> Result<()> {
+        if m.shape() != self.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                left: m.shape(),
+                right: self.shape(),
+                op: "mask_zero_unset",
+            });
+        }
+        // Row-major matrix data lines up with the bitset's linear order.
+        let data = m.as_mut_slice();
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w == u64::MAX {
+                continue;
+            }
+            let base = wi * 64;
+            let end = (base + 64).min(data.len());
+            if w == 0 {
+                data[base..end].fill(0.0);
+                continue;
+            }
+            for bit in (WordBits { word: !w, base }) {
+                if bit >= data.len() {
+                    break; // tail bits past the grid, ascending order
+                }
+                data[bit] = 0.0;
+            }
+        }
+        Ok(())
+    }
+
     fn check_shape(&self, other: &Mask) -> Result<()> {
         if self.shape() != other.shape() {
             return Err(LinalgError::DimensionMismatch {
@@ -236,6 +321,24 @@ impl Mask {
 /// sparse, only the observed dot products are computed
 /// (`|Ω| · K` work instead of `N·M·K`).
 pub fn masked_product(u: &Matrix, v: &Matrix, mask: &Mask) -> Result<Matrix> {
+    let mut vt = Matrix::zeros(v.cols(), v.rows());
+    let mut out = Matrix::zeros(u.rows(), v.cols());
+    masked_product_into(u, v, mask, &mut vt, &mut out)?;
+    Ok(out)
+}
+
+/// [`masked_product`] into caller-owned buffers: `vt` is a
+/// `v.cols() x v.rows()` scratch for the transpose of `V` and `out`
+/// receives the result, so repeated calls (the pre-engine hot path)
+/// allocate nothing. The `vt` scratch is only written on the sparse
+/// branch; `out` is fully overwritten either way.
+pub fn masked_product_into(
+    u: &Matrix,
+    v: &Matrix,
+    mask: &Mask,
+    vt: &mut Matrix,
+    out: &mut Matrix,
+) -> Result<()> {
     if u.cols() != v.rows() {
         return Err(LinalgError::DimensionMismatch {
             left: u.shape(),
@@ -251,15 +354,19 @@ pub fn masked_product(u: &Matrix, v: &Matrix, mask: &Mask) -> Result<Matrix> {
         });
     }
     if mask.density() > 0.5 {
-        let full = matmul(u, v)?;
-        mask.apply(&full)
+        matmul_into(u, v, out)?;
+        mask.zero_unset(out)
     } else {
-        let vt = v.transpose();
-        let mut out = Matrix::zeros(u.rows(), v.cols());
-        for (i, j) in mask.iter_set() {
-            out.set(i, j, crate::ops::dot(u.row(i), vt.row(j)));
+        v.transpose_into(vt)?;
+        out.as_mut_slice().fill(0.0);
+        for i in 0..mask.rows() {
+            let urow = u.row(i);
+            let orow = out.row_mut(i);
+            for j in mask.iter_row_set(i) {
+                orow[j] = crate::ops::dot(urow, vt.row(j));
+            }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -281,15 +388,38 @@ pub fn masked_diff_norm_sq(x: &Matrix, p: &Matrix, mask: &Mask) -> Result<f64> {
     Ok(acc)
 }
 
-/// `R_Ω(X)·Vᵀ` without materializing `R_Ω(X)` when the mask is dense.
+/// `R_Ω(X)·Vᵀ` without materializing `R_Ω(X)`: accumulates
+/// `x_ij · v[:, j]` directly for each observed cell, so the masked copy
+/// of `X` never exists (previously the implementation contradicted this
+/// doc by calling `mask.apply`). Cost is `O(|Ω|·K)` plus one `K x M`
+/// transpose of `V`.
 pub fn masked_x_vt(x: &Matrix, v: &Matrix, mask: &Mask) -> Result<Matrix> {
-    let mx = mask.apply(x)?;
-    matmul_bt(&mx, v)
+    if x.shape() != mask.shape() || x.cols() != v.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            left: x.shape(),
+            right: v.shape(),
+            op: "masked_x_vt",
+        });
+    }
+    let vt = v.transpose();
+    let mut out = Matrix::zeros(x.rows(), v.rows());
+    for i in 0..x.rows() {
+        let xrow = x.row(i);
+        let orow = out.row_mut(i);
+        for j in mask.iter_row_set(i) {
+            let xij = xrow[j];
+            for (o, &vv) in orow.iter_mut().zip(vt.row(j)) {
+                *o += xij * vv;
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::matmul;
 
     #[test]
     fn empty_and_full_counts() {
@@ -403,6 +533,76 @@ mod tests {
         let e = masked_diff_norm_sq(&x, &p, &m).unwrap();
         assert!((e - (4.0 + 9.0)).abs() < 1e-12);
         assert!(masked_diff_norm_sq(&x, &Matrix::zeros(1, 1), &m).is_err());
+    }
+
+    #[test]
+    fn iter_row_set_matches_per_bit_scan() {
+        // 13 cols => rows straddle word boundaries from row 4 onwards.
+        let mut m = Mask::empty(11, 13);
+        for i in 0..11 {
+            for j in 0..13 {
+                if (i * 31 + j * 7) % 3 == 0 {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        for i in 0..11 {
+            let fast: Vec<usize> = m.iter_row_set(i).collect();
+            let naive: Vec<usize> = (0..13).filter(|&j| m.get(i, j)).collect();
+            assert_eq!(fast, naive, "row {i}");
+            assert_eq!(m.row_set_cols(i), naive);
+        }
+        let all: Vec<(usize, usize)> = m.iter_set().collect();
+        let mut naive_all = Vec::new();
+        for i in 0..11 {
+            for j in 0..13 {
+                if m.get(i, j) {
+                    naive_all.push((i, j));
+                }
+            }
+        }
+        assert_eq!(all, naive_all);
+    }
+
+    #[test]
+    fn zero_unset_matches_apply() {
+        let x = Matrix::from_fn(9, 13, |i, j| (i * 13 + j) as f64 + 1.0);
+        let mut m = Mask::empty(9, 13);
+        for (i, j) in [(0, 0), (3, 12), (8, 5), (4, 7)] {
+            m.set(i, j, true);
+        }
+        let mut inplace = x.clone();
+        m.zero_unset(&mut inplace).unwrap();
+        assert!(inplace.approx_eq(&m.apply(&x).unwrap(), 0.0));
+        assert!(m.zero_unset(&mut Matrix::zeros(2, 2)).is_err());
+        // full mask: nothing zeroed
+        let mut untouched = x.clone();
+        Mask::full(9, 13).zero_unset(&mut untouched).unwrap();
+        assert!(untouched.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn masked_product_into_reuses_buffers() {
+        let u = Matrix::from_fn(6, 3, |i, j| (i + j) as f64 * 0.3);
+        let v = Matrix::from_fn(3, 5, |i, j| (2 * i + j) as f64 * 0.2);
+        let mask = Mask::from_positions(6, 5, &[(0, 0), (3, 2), (5, 4)]).unwrap();
+        let mut vt = Matrix::zeros(5, 3);
+        let mut out = Matrix::zeros(6, 5);
+        let p_out = out.as_slice().as_ptr();
+        for _ in 0..3 {
+            masked_product_into(&u, &v, &mask, &mut vt, &mut out).unwrap();
+        }
+        assert_eq!(p_out, out.as_slice().as_ptr());
+        assert!(out.approx_eq(&masked_product(&u, &v, &mask).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn masked_x_vt_shape_errors() {
+        let x = Matrix::zeros(4, 3);
+        let v = Matrix::zeros(2, 4); // cols mismatch
+        assert!(masked_x_vt(&x, &v, &Mask::full(4, 3)).is_err());
+        let v_ok = Matrix::zeros(2, 3);
+        assert!(masked_x_vt(&x, &v_ok, &Mask::full(3, 3)).is_err());
     }
 
     #[test]

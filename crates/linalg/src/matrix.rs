@@ -249,12 +249,27 @@ impl Matrix {
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out)
+            .expect("freshly allocated transpose buffer has the right shape");
+        out
+    }
+
+    /// Transpose into a caller-owned `cols x rows` buffer (overwritten),
+    /// so hot loops can refresh a cached `Vᵀ` without allocating.
+    pub fn transpose_into(&self, out: &mut Matrix) -> Result<()> {
+        if out.shape() != (self.cols, self.rows) {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.cols, self.rows),
+                right: out.shape(),
+                op: "transpose_into",
+            });
+        }
         for i in 0..self.rows {
             for j in 0..self.cols {
                 out.data[j * self.rows + i] = self.data[i * self.cols + j];
             }
         }
-        out
+        Ok(())
     }
 
     /// Applies `f` to every element, returning a new matrix.

@@ -4,7 +4,9 @@
 //! `R_Ω(X)·Vᵀ`, `R_Ω(U·V)·Vᵀ`, `Uᵀ·R_Ω(X)` and `Uᵀ·R_Ω(U·V)`. Rather than
 //! materializing transposes, this module provides the three product
 //! orientations directly (`A·B`, `A·Bᵀ`, `Aᵀ·B`), each with a serial
-//! kernel and a row-parallel kernel built on `crossbeam::scope`.
+//! kernel and a row-parallel kernel built on `std::thread::scope`, plus
+//! `_into` variants that reuse a caller-owned output buffer so the
+//! per-iteration engine ([`crate::kernels`]) allocates nothing.
 //!
 //! The serial kernel for `A·B` is the classic `ikj` loop order, which
 //! streams both `B` rows and the output row, and lets the compiler
@@ -17,7 +19,7 @@ use crate::matrix::Matrix;
 /// threshold amortizes thread-spawn cost (~10µs per thread).
 const PARALLEL_FLOP_THRESHOLD: usize = 2_000_000;
 
-fn threads_for(flops: usize) -> usize {
+pub(crate) fn threads_for(flops: usize) -> usize {
     if flops < PARALLEL_FLOP_THRESHOLD {
         return 1;
     }
@@ -32,6 +34,14 @@ fn threads_for(flops: usize) -> usize {
 /// Errors with [`LinalgError::DimensionMismatch`] unless
 /// `a.cols() == b.rows()`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// `C = A · B` into a caller-owned output buffer (overwritten), so hot
+/// loops can reuse one allocation across iterations.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
     if a.cols() != b.rows() {
         return Err(LinalgError::DimensionMismatch {
             left: a.shape(),
@@ -40,7 +50,14 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
         });
     }
     let (n, k, m) = (a.rows(), a.cols(), b.cols());
-    let mut out = Matrix::zeros(n, m);
+    if out.shape() != (n, m) {
+        return Err(LinalgError::DimensionMismatch {
+            left: (n, m),
+            right: out.shape(),
+            op: "matmul_into",
+        });
+    }
+    out.as_mut_slice().fill(0.0);
     let threads = threads_for(n * k * m * 2);
     if threads <= 1 {
         matmul_rows(a, b, out.as_mut_slice(), 0, n);
@@ -49,7 +66,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
             matmul_rows_into(a, b, chunk, start, end)
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 /// `C = A · Bᵀ`.
@@ -57,6 +74,13 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 /// Both operands are read row-wise, which makes this the fastest
 /// orientation; prefer it to `matmul(a, &b.transpose())`.
 pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    matmul_bt_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// `C = A · Bᵀ` into a caller-owned output buffer (overwritten).
+pub fn matmul_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
     if a.cols() != b.cols() {
         return Err(LinalgError::DimensionMismatch {
             left: a.shape(),
@@ -65,7 +89,13 @@ pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
         });
     }
     let (n, m) = (a.rows(), b.rows());
-    let mut out = Matrix::zeros(n, m);
+    if out.shape() != (n, m) {
+        return Err(LinalgError::DimensionMismatch {
+            left: (n, m),
+            right: out.shape(),
+            op: "matmul_bt_into",
+        });
+    }
     let threads = threads_for(n * m * a.cols() * 2);
     let body = |start: usize, end: usize, chunk: &mut [f64]| {
         for i in start..end {
@@ -86,7 +116,7 @@ pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     } else {
         parallel_over_rows(out.as_mut_slice(), m, n, threads, body);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// `C = Aᵀ · B`.
@@ -94,6 +124,13 @@ pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 /// Output is `a.cols() x b.cols()`; parallelized over output rows (i.e.
 /// columns of `A`).
 pub fn matmul_at(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    matmul_at_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// `C = Aᵀ · B` into a caller-owned output buffer (overwritten).
+pub fn matmul_at_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
     if a.rows() != b.rows() {
         return Err(LinalgError::DimensionMismatch {
             left: a.shape(),
@@ -102,7 +139,14 @@ pub fn matmul_at(a: &Matrix, b: &Matrix) -> Result<Matrix> {
         });
     }
     let (n, k, m) = (a.rows(), a.cols(), b.cols());
-    let mut out = Matrix::zeros(k, m);
+    if out.shape() != (k, m) {
+        return Err(LinalgError::DimensionMismatch {
+            left: (k, m),
+            right: out.shape(),
+            op: "matmul_at_into",
+        });
+    }
+    out.as_mut_slice().fill(0.0);
     // Accumulate row-by-row of A/B: out[p, :] += a[i, p] * b[i, :].
     // Serial version streams both inputs once; the parallel version gives
     // each thread a private accumulator per output-row stripe.
@@ -140,7 +184,7 @@ pub fn matmul_at(a: &Matrix, b: &Matrix) -> Result<Matrix> {
             }
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Matrix-vector product `A · x`.
@@ -200,20 +244,27 @@ fn matmul_rows_into(a: &Matrix, b: &Matrix, chunk: &mut [f64], start: usize, end
 
 /// Splits `out` (a `total_rows x row_width` buffer) into contiguous row
 /// stripes and runs `body(start_row, end_row, stripe)` on scoped threads.
-fn parallel_over_rows<F>(out: &mut [f64], row_width: usize, total_rows: usize, threads: usize, body: F)
-where
+///
+/// Shared by the dense products here and the sparse-residual kernels in
+/// [`crate::kernels`].
+pub(crate) fn parallel_over_rows<F>(
+    out: &mut [f64],
+    row_width: usize,
+    total_rows: usize,
+    threads: usize,
+    body: F,
+) where
     F: Fn(usize, usize, &mut [f64]) + Sync,
 {
     let chunk_rows = total_rows.div_ceil(threads);
     let body = &body;
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (ci, chunk) in out.chunks_mut(chunk_rows * row_width).enumerate() {
             let start = ci * chunk_rows;
             let end = (start + chunk.len() / row_width.max(1)).min(total_rows);
-            s.spawn(move |_| body(start, end, chunk));
+            s.spawn(move || body(start, end, chunk));
         }
-    })
-    .expect("matmul worker thread panicked");
+    });
 }
 
 #[cfg(test)]

@@ -137,6 +137,15 @@ impl CsrMatrix {
 
     /// Sparse × dense product `self · B` (`rows x B.cols()`).
     pub fn spmm(&self, b: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, b.cols());
+        self.spmm_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// Sparse × dense product into a caller-owned output buffer
+    /// (overwritten) — lets the update loop evaluate `D·U`, `W·U` and
+    /// `L·U` every iteration without allocating.
+    pub fn spmm_into(&self, b: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != b.rows() {
             return Err(LinalgError::DimensionMismatch {
                 left: (self.rows, self.cols),
@@ -145,7 +154,14 @@ impl CsrMatrix {
             });
         }
         let m = b.cols();
-        let mut out = Matrix::zeros(self.rows, m);
+        if out.shape() != (self.rows, m) {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.rows, m),
+                right: out.shape(),
+                op: "spmm_into",
+            });
+        }
+        out.as_mut_slice().fill(0.0);
         for i in 0..self.rows {
             // Split the borrow: read entries by index, write into row i.
             let (start, end) = (self.row_ptr[i], self.row_ptr[i + 1]);
@@ -158,7 +174,7 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Sparse × vector product.
@@ -302,6 +318,18 @@ mod tests {
         let dense = crate::ops::matmul(&m.to_dense(), &b).unwrap();
         assert!(sparse.approx_eq(&dense, 1e-12));
         assert!(m.spmm(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn spmm_into_reuses_buffer_and_checks_shape() {
+        let m = sample();
+        let b = Matrix::from_fn(3, 2, |i, j| (i + 2 * j) as f64);
+        let mut out = Matrix::filled(3, 2, 7.0); // stale values must be overwritten
+        let ptr = out.as_slice().as_ptr();
+        m.spmm_into(&b, &mut out).unwrap();
+        assert_eq!(ptr, out.as_slice().as_ptr());
+        assert!(out.approx_eq(&m.spmm(&b).unwrap(), 1e-12));
+        assert!(m.spmm_into(&b, &mut Matrix::zeros(2, 2)).is_err());
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors the subset of the criterion 0.5 API its benches use:
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId::new`, `Bencher::iter` / `iter_batched`, `BatchSize`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a fixed warmup, then timed
+//! batches until a time budget is spent, reporting mean and min. No
+//! statistical analysis, HTML reports or history — the numbers print to
+//! stdout, and this workspace's own bench harness persists what it
+//! needs (e.g. `BENCH_update_rules.json`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark after warmup.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Warmup time before measurement starts.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_case("", id, f);
+        self
+    }
+
+    /// Upstream prints the summary here; the stub has nothing buffered.
+    pub fn final_summary(&self) {}
+}
+
+/// A named collection of benchmark cases.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-case sample count (accepted, ignored: the stub uses
+    /// a time budget instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-case measurement time (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        run_case(&self.name, &id.into_benchmark_id().0, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a shared input.
+    pub fn bench_with_input<I, F, T: ?Sized>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &T),
+    {
+        run_case(&self.name, &id.into_benchmark_id().0, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream emits the summary here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter label.
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    /// `name/parameter`, matching upstream's display form.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Conversion of `&str` / `String` / [`BenchmarkId`] into an id.
+pub trait IntoBenchmarkId {
+    /// Converts into the canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, ignored: the stub
+/// always runs setup per invocation, outside the timed section).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured invocation.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    min: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            iters: 0,
+            budget,
+        }
+    }
+
+    fn record(&mut self, d: Duration) {
+        self.total += d;
+        self.min = self.min.min(d);
+        self.iters += 1;
+    }
+
+    fn done(&self) -> bool {
+        self.iters >= 3 && self.total >= self.budget
+    }
+
+    /// Times `routine` repeatedly until the budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            self.record(t.elapsed());
+            if self.done() {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup runs outside
+    /// the timed section.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.record(t.elapsed());
+            if self.done() {
+                break;
+            }
+        }
+    }
+}
+
+fn run_case<F: FnMut(&mut Bencher)>(group: &str, id: &str, mut f: F) {
+    // Warmup pass with a short budget, then the measured pass.
+    let mut warm = Bencher::new(WARMUP_BUDGET);
+    f(&mut warm);
+    let mut b = Bencher::new(MEASURE_BUDGET);
+    f(&mut b);
+    let mean = b.total.as_secs_f64() / b.iters as f64;
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    eprintln!(
+        "  {label}: mean {:.3} ms, min {:.3} ms ({} iters)",
+        mean * 1e3,
+        b.min.as_secs_f64() * 1e3,
+        b.iters
+    );
+}
+
+/// Declares a benchmark group function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut b = Bencher::new(Duration::from_millis(1));
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(n >= 3);
+        assert_eq!(b.iters, n);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("case", 1), |b| b.iter(|| 2 + 2));
+        group.bench_with_input(BenchmarkId::new("input", "x"), &41, |b, &x| {
+            b.iter_batched(|| x, |v| v + 1, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,414 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors the subset of the proptest 1.x API its test suites use:
+//! the [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`],
+//! range and tuple strategies, `prop_map`, `collection::vec`,
+//! `bool::ANY` and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **No shrinking.** A failing case reports its inputs via the
+//!   assertion message but is not minimized.
+//! - **Deterministic seeding.** Cases derive from a hash of the test
+//!   function's name plus the case index, so failures reproduce exactly
+//!   on re-run (upstream persists failing seeds to a regressions file
+//!   instead).
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random test values (upstream's `Strategy`, minus
+    /// the `ValueTree` shrinking machinery).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy on empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + hi) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "strategy on empty range");
+                    let span = (e as i128 - s as i128 + 1) as u128;
+                    let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (s as i128 + hi) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "strategy on empty range");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "strategy on empty range");
+            self.start + rng.next_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A/0);
+    tuple_strategy!(A/0, B/1);
+    tuple_strategy!(A/0, B/1, C/2);
+    tuple_strategy!(A/0, B/1, C/2, D/3);
+    tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Lengths accepted by [`vec`]: a fixed count or a half-open range.
+    pub trait SizeRange {
+        /// Draws the length for one generated collection.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for ::std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "vec length on empty range");
+            let span = (self.end - self.start) as u128;
+            self.start + ((rng.next_u64() as u128 * span) >> 64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Fair-coin boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Upstream-compatible name for the fair-coin strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Runner configuration and RNG.
+pub mod test_runner {
+    /// Per-test configuration (only the case count is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps this workspace's suites
+            // quick while still sweeping the input space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic xoshiro256** test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary byte string (the test's name) plus a
+        /// case index, via FNV-1a into SplitMix64 expansion.
+        pub fn from_name_and_case(name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h ^= case.wrapping_mul(0x9E3779B97F4A7C15);
+            let mut x = h;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next raw 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        #[inline]
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq failed: {:?} != {:?} ({} vs {})",
+                l, r, ::std::stringify!($left), ::std::stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_ne failed: both sides equal {:?}", l
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)`
+/// becomes a normal test running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases as u64 {
+                let mut __proptest_rng = $crate::test_runner::TestRng::from_name_and_case(
+                    ::std::stringify!($name),
+                    case,
+                );
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __proptest_rng,
+                    );
+                )+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    ::std::panic!("proptest case {case} of {}: {msg}", config.cases);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, f64)> {
+        (1usize..10, -1.0f64..1.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..9, x in 0.5f64..2.0) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((0.5..2.0).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_maps(( n, x ) in pair(), v in collection::vec(0u64..5, 7usize)) {
+            prop_assert!(n >= 1 && n < 10);
+            prop_assert!(x.abs() <= 1.0);
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn bools_vary(bits in collection::vec(bool::ANY, 64usize)) {
+            // 64 fair coins are essentially never all identical.
+            prop_assert!(bits.iter().any(|&b| b) || bits.iter().any(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::from_name_and_case("t", 3);
+        let mut b = TestRng::from_name_and_case("t", 3);
+        let s = 0u64..1000;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

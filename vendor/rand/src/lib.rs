@@ -1,0 +1,248 @@
+//! Vendored minimal stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors the *subset* of the rand 0.8 API it actually uses:
+//! `StdRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range` (half-open and
+//! inclusive integer/float ranges) and `Rng::gen_bool`.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — fully
+//! deterministic per seed, which is all the reproduction requires
+//! (DESIGN.md §6: every stochastic component takes an explicit seed).
+//! It is NOT the same stream as upstream `StdRng` (ChaCha12), so
+//! seed-indexed numeric outputs differ from a crates.io build; every
+//! test in this workspace asserts properties, not golden streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Object-safe core of a generator: a `u64` stream.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Values generable from raw bits by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Produces a value from the generator's bit stream.
+    fn from_rng(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_rng(rng: &mut dyn RngCore) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_rng(rng: &mut dyn RngCore) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_rng(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_rng(rng: &mut dyn RngCore) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift bounded sampling; bias is < 2^-64 per
+                // draw, far below anything the test suite can observe.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + hi) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "gen_range on empty range");
+                let span = (e as i128 - s as i128 + 1) as u128;
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (s as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let u = f64::from_rng(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let u = f32::from_rng(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Subset of the `rand::Rng` extension trait.
+pub trait Rng: RngCore {
+    /// Uniform sample of a [`Standard`] type.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        f64::from_rng(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256**.
+    ///
+    /// Statistically solid for simulation purposes and seed-
+    /// deterministic; not cryptographic (neither is upstream `StdRng`'s
+    /// contract as this workspace uses it).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding procedure.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seed_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0..=5u64);
+            assert!(y <= 5);
+            let f = r.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[r.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "bucket count {b} far from 1000");
+        }
+    }
+}
