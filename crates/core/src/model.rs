@@ -125,11 +125,21 @@ fn fit_inner(
     let k = config.rank;
     let l = config.spatial_cols;
 
+    // The mean-filled SI feeds both the similarity graph (Algorithm 1
+    // lines 2-3) and the landmark k-means (lines 4-6) — computed at most
+    // once and shared.
+    let needs_graph = config.variant.uses_spatial_regularization() && config.lambda != 0.0;
+    let needs_si_landmarks = landmarks_override.is_none() && config.variant.uses_landmarks();
+    let si = if needs_graph || needs_si_landmarks {
+        Some(fill_missing_si(x, omega, l))
+    } else {
+        None
+    };
+
     // Algorithm 1 lines 2-3: similarity graph on (possibly mean-filled) SI.
-    let graph = if config.variant.uses_spatial_regularization() && config.lambda != 0.0 {
-        let si = fill_missing_si(x, omega, l);
+    let graph = if needs_graph {
         Some(SpatialGraph::build_weighted(
-            &si,
+            si.as_ref().expect("si computed when needs_graph"),
             config.p_neighbors,
             config.search,
             config.weighting,
@@ -153,8 +163,8 @@ fn fit_inner(
             Some(lm)
         }
         None if config.variant.uses_landmarks() => {
-            let si = fill_missing_si(x, omega, l);
-            let lm = Landmarks::compute(&si, k, config.kmeans_max_iter, config.seed)?;
+            let si = si.as_ref().expect("si computed when landmarks need it");
+            let lm = Landmarks::compute(si, k, config.kmeans_max_iter, config.seed)?;
             lm.inject(&mut v)?;
             Some(lm)
         }

@@ -1,13 +1,19 @@
 //! The engine's headline contract: after the first iteration, the
 //! multiplicative update loop performs **zero heap allocations** — all
 //! scratch lives in the per-fit `Workspace` and is reused verbatim.
+//! The spatial preprocessing pipeline carries the same contract: bulk
+//! kNN queries allocate nothing per query, and the k-means iteration
+//! loop (both engines) allocates nothing per iteration.
 //!
-//! Verified two ways:
+//! Verified three ways:
 //! 1. a counting global allocator observes no `alloc` calls across the
 //!    steady-state iterations (warmup runs first so lazily created
 //!    buffers exist);
 //! 2. the workspace buffers keep their addresses across iterations
-//!    (pointer stability — no free+realloc churn either).
+//!    (pointer stability — no free+realloc churn either);
+//! 3. allocation-count *equality* between short and long runs of the
+//!    same computation (20x the queries / 20 extra k-means iterations
+//!    must not change the count, so the marginal cost is provably zero).
 //!
 //! This file deliberately holds exactly ONE `#[test]`: the allocation
 //! counter is process-global, and Rust runs tests in the same binary
@@ -47,6 +53,17 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 use smfl_core::updater::{multiplicative_step, UpdateContext};
 use smfl_linalg::random::{positive_uniform_matrix, uniform_matrix};
 use smfl_linalg::{Mask, ObservedPattern, Workspace};
+use smfl_spatial::kmeans::{kmeans, KMeansAlgorithm, KMeansConfig};
+use smfl_spatial::KdTree;
+
+/// Runs `f` with the counter armed and returns the allocation count.
+fn count_allocs<F: FnMut()>(mut f: F) -> usize {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
 
 #[test]
 fn multiplicative_step_allocates_nothing_after_warmup() {
@@ -119,4 +136,53 @@ fn multiplicative_step_allocates_nothing_after_warmup() {
     );
     assert_eq!(ptrs_before, ptrs_after, "workspace buffers were reallocated");
     assert!(u.all_finite() && v.all_finite());
+
+    // --- Phase 2: bulk kNN allocates nothing per query. -----------------
+    // threads = 1 keeps the run on this thread (spawning allocates); the
+    // only transient is one scratch heap per chunk, so the count must be
+    // identical whether a call answers 10 queries or 200.
+    let pts = uniform_matrix(200, 2, 0.0, 1.0, 11);
+    let few = uniform_matrix(10, 2, 0.0, 1.0, 12);
+    let tree = KdTree::build(&pts);
+    let kk = tree.bulk_k(5, false);
+    let mut out_few = vec![(usize::MAX, f64::INFINITY); few.rows() * kk];
+    let mut out_many = vec![(usize::MAX, f64::INFINITY); pts.rows() * kk];
+    // Warmup both paths.
+    tree.nearest_bulk_into(&few, 5, false, 1, &mut out_few);
+    tree.nearest_bulk_into(&pts, 5, false, 1, &mut out_many);
+    let allocs_few = count_allocs(|| tree.nearest_bulk_into(&few, 5, false, 1, &mut out_few));
+    let allocs_many = count_allocs(|| tree.nearest_bulk_into(&pts, 5, false, 1, &mut out_many));
+    assert_eq!(
+        allocs_few, allocs_many,
+        "bulk kNN allocation count grew with the query count \
+         ({allocs_few} for 10 queries vs {allocs_many} for 200)"
+    );
+    assert!(
+        allocs_many <= 2,
+        "bulk kNN made {allocs_many} allocations for one call; expected only the scratch heap"
+    );
+
+    // --- Phase 3: the k-means iteration loop allocates nothing. ---------
+    // tol = 0 forces every iteration to run, so 20 extra iterations with
+    // an unchanged allocation count prove the per-iteration cost is zero.
+    for algorithm in [KMeansAlgorithm::Lloyd, KMeansAlgorithm::Hamerly] {
+        let mut base = KMeansConfig::new(6).with_seed(3).with_threads(1).with_algorithm(algorithm);
+        base.tol = 0.0;
+        let short_cfg = base.clone().with_max_iter(3);
+        let long_cfg = base.with_max_iter(23);
+        // Warmup.
+        kmeans(&pts, &short_cfg).unwrap();
+        kmeans(&pts, &long_cfg).unwrap();
+        let allocs_short = count_allocs(|| {
+            kmeans(&pts, &short_cfg).unwrap();
+        });
+        let allocs_long = count_allocs(|| {
+            kmeans(&pts, &long_cfg).unwrap();
+        });
+        assert_eq!(
+            allocs_short, allocs_long,
+            "{algorithm:?} k-means allocation count grew with the iteration count \
+             ({allocs_short} for 3 iters vs {allocs_long} for 23)"
+        );
+    }
 }

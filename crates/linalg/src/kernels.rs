@@ -28,14 +28,16 @@
 //! BLAS-style path is faster) callers consult
 //! [`ObservedPattern::prefers_dense`].
 //!
-//! Parallelism reuses [`crate::ops`]'s row-striping: the dense-output
-//! kernels go through `parallel_over_rows`, and the SDDMM splits the
-//! packed value array at row boundaries balanced by nonzero count.
+//! Parallelism reuses [`crate::parallel`]'s row-striping: the
+//! dense-output kernels go through `parallel_over_rows`, and the SDDMM
+//! splits the packed value array at row boundaries balanced by nonzero
+//! count.
 
 use crate::error::{LinalgError, Result};
 use crate::mask::Mask;
 use crate::matrix::Matrix;
-use crate::ops::{dot, parallel_over_rows, threads_for};
+use crate::ops::dot;
+use crate::parallel::{parallel_over_rows, threads_for};
 
 /// Mask densities above this run faster through the dense matmul path
 /// (`matmul` + `zero_unset`) than through the sparse kernels; the
@@ -101,8 +103,8 @@ impl ObservedPattern {
         let mut csc_rows = vec![0usize; nnz];
         let mut csc_perm = vec![0usize; nnz];
         for i in 0..rows {
-            for slot in row_ptr[i]..row_ptr[i + 1] {
-                let j = col_idx[slot];
+            let span = row_ptr[i]..row_ptr[i + 1];
+            for (slot, &j) in span.clone().zip(&col_idx[span]) {
                 let dst = cursor[j];
                 cursor[j] += 1;
                 csc_rows[dst] = i;
@@ -271,20 +273,16 @@ impl ObservedPattern {
             for i in start..end {
                 let orow = &mut chunk[(i - start) * k..(i - start + 1) * k];
                 orow.fill(0.0);
-                for slot in self.row_ptr[i]..self.row_ptr[i + 1] {
-                    let v = vals[slot];
-                    let vtr = vt.row(self.col_idx[slot]);
+                let span = self.row_ptr[i]..self.row_ptr[i + 1];
+                for (&v, &j) in vals[span.clone()].iter().zip(&self.col_idx[span]) {
+                    let vtr = vt.row(j);
                     for (o, &b) in orow.iter_mut().zip(vtr) {
                         *o += v * b;
                     }
                 }
             }
         };
-        if threads <= 1 {
-            body(0, self.rows, out.as_mut_slice());
-        } else {
-            parallel_over_rows(out.as_mut_slice(), k, self.rows, threads, body);
-        }
+        parallel_over_rows(out.as_mut_slice(), k, self.rows, threads, body);
         Ok(())
     }
 
@@ -327,11 +325,7 @@ impl ObservedPattern {
             }
         };
         let live_slice = &mut out.as_mut_slice()[row_start * k..];
-        if threads <= 1 {
-            body(0, live, live_slice);
-        } else {
-            parallel_over_rows(live_slice, k, live, threads, body);
-        }
+        parallel_over_rows(live_slice, k, live, threads, body);
         Ok(())
     }
 

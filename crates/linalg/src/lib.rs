@@ -11,6 +11,9 @@
 //! - [`ops`] — serial + row-parallel products in all three orientations
 //!   (`A·B`, `A·Bᵀ`, `Aᵀ·B`), matching the shapes in the paper's update
 //!   rules (Formulas 13/14).
+//! - [`parallel`] — the scoped-thread row-striping substrate (with the
+//!   `SMFL_THREADS` override) shared by `ops`, `kernels` and the spatial
+//!   preprocessing pipeline in `smfl-spatial`.
 //! - [`Mask`] — the `Ω` / `Ψ` observation bitsets and the masked
 //!   operators `R_Ω(·)` (paper §II-A), including `R_Ω(U·V)` evaluated
 //!   sparsely.
@@ -45,6 +48,7 @@ pub mod kernels;
 pub mod mask;
 pub mod matrix;
 pub mod ops;
+pub mod parallel;
 pub mod random;
 pub mod solve;
 pub mod sparse;

@@ -14,20 +14,7 @@
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
-
-/// Products smaller than this many FLOPs stay on a single thread; the
-/// threshold amortizes thread-spawn cost (~10µs per thread).
-const PARALLEL_FLOP_THRESHOLD: usize = 2_000_000;
-
-pub(crate) fn threads_for(flops: usize) -> usize {
-    if flops < PARALLEL_FLOP_THRESHOLD {
-        return 1;
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
-}
+use crate::parallel::{parallel_over_rows, threads_for};
 
 /// `C = A · B`.
 ///
@@ -59,13 +46,9 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
     }
     out.as_mut_slice().fill(0.0);
     let threads = threads_for(n * k * m * 2);
-    if threads <= 1 {
-        matmul_rows(a, b, out.as_mut_slice(), 0, n);
-    } else {
-        parallel_over_rows(out.as_mut_slice(), m, n, threads, |start, end, chunk| {
-            matmul_rows_into(a, b, chunk, start, end)
-        });
-    }
+    parallel_over_rows(out.as_mut_slice(), m, n, threads, |start, end, chunk| {
+        matmul_rows_into(a, b, chunk, start, end)
+    });
     Ok(())
 }
 
@@ -111,11 +94,7 @@ pub fn matmul_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
             }
         }
     };
-    if threads <= 1 {
-        body(0, n, out.as_mut_slice());
-    } else {
-        parallel_over_rows(out.as_mut_slice(), m, n, threads, body);
-    }
+    parallel_over_rows(out.as_mut_slice(), m, n, threads, body);
     Ok(())
 }
 
@@ -148,42 +127,25 @@ pub fn matmul_at_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
     }
     out.as_mut_slice().fill(0.0);
     // Accumulate row-by-row of A/B: out[p, :] += a[i, p] * b[i, :].
-    // Serial version streams both inputs once; the parallel version gives
-    // each thread a private accumulator per output-row stripe.
+    // Each stripe owns a private accumulator over its output rows, so the
+    // serial (one full stripe) and parallel cases share one body.
     let threads = threads_for(n * k * m * 2);
-    if threads <= 1 {
-        let o = out.as_mut_slice();
+    parallel_over_rows(out.as_mut_slice(), m, k, threads, |pstart, pend, chunk| {
         for i in 0..n {
             let ar = a.row(i);
             let br = b.row(i);
-            for (p, &ap) in ar.iter().enumerate() {
+            for p in pstart..pend {
+                let ap = ar[p];
                 if ap == 0.0 {
                     continue;
                 }
-                let orow = &mut o[p * m..(p + 1) * m];
+                let orow = &mut chunk[(p - pstart) * m..(p - pstart + 1) * m];
                 for (t, &bv) in br.iter().enumerate() {
                     orow[t] += ap * bv;
                 }
             }
         }
-    } else {
-        parallel_over_rows(out.as_mut_slice(), m, k, threads, |pstart, pend, chunk| {
-            for i in 0..n {
-                let ar = a.row(i);
-                let br = b.row(i);
-                for p in pstart..pend {
-                    let ap = ar[p];
-                    if ap == 0.0 {
-                        continue;
-                    }
-                    let orow = &mut chunk[(p - pstart) * m..(p - pstart + 1) * m];
-                    for (t, &bv) in br.iter().enumerate() {
-                        orow[t] += ap * bv;
-                    }
-                }
-            }
-        });
-    }
+    });
     Ok(())
 }
 
@@ -219,10 +181,6 @@ pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
         .sum()
 }
 
-fn matmul_rows(a: &Matrix, b: &Matrix, out: &mut [f64], start: usize, end: usize) {
-    matmul_rows_into(a, b, &mut out[start * b.cols()..end * b.cols()], start, end);
-}
-
 /// Computes rows `start..end` of `A·B` into `chunk` (which holds exactly
 /// those rows). `ikj` order: `out[i, :] += a[i, t] * b[t, :]`.
 fn matmul_rows_into(a: &Matrix, b: &Matrix, chunk: &mut [f64], start: usize, end: usize) {
@@ -240,31 +198,6 @@ fn matmul_rows_into(a: &Matrix, b: &Matrix, chunk: &mut [f64], start: usize, end
             }
         }
     }
-}
-
-/// Splits `out` (a `total_rows x row_width` buffer) into contiguous row
-/// stripes and runs `body(start_row, end_row, stripe)` on scoped threads.
-///
-/// Shared by the dense products here and the sparse-residual kernels in
-/// [`crate::kernels`].
-pub(crate) fn parallel_over_rows<F>(
-    out: &mut [f64],
-    row_width: usize,
-    total_rows: usize,
-    threads: usize,
-    body: F,
-) where
-    F: Fn(usize, usize, &mut [f64]) + Sync,
-{
-    let chunk_rows = total_rows.div_ceil(threads);
-    let body = &body;
-    std::thread::scope(|s| {
-        for (ci, chunk) in out.chunks_mut(chunk_rows * row_width).enumerate() {
-            let start = ci * chunk_rows;
-            let end = (start + chunk.len() / row_width.max(1)).min(total_rows);
-            s.spawn(move || body(start, end, chunk));
-        }
-    });
 }
 
 #[cfg(test)]

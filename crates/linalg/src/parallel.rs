@@ -1,0 +1,169 @@
+//! Scoped-thread parallelism shared by every hot kernel in the workspace.
+//!
+//! All parallel paths in the suite — the dense products of [`crate::ops`],
+//! the sparse-residual kernels of [`crate::kernels`], and the spatial
+//! preprocessing pipeline (kd-tree construction, bulk kNN, k-means
+//! assignment in `smfl-spatial`) — share the same decomposition: split
+//! one output slice into contiguous row stripes and run a body per
+//! stripe on `std::thread::scope` threads. Centralizing that here keeps
+//! thread-count policy (including the `SMFL_THREADS` override) in one
+//! place and makes every parallel path trivially deterministic: each
+//! stripe's results depend only on its row range, never on the number of
+//! threads.
+//!
+//! Thread-count policy:
+//! - work below [`PARALLEL_FLOP_THRESHOLD`] FLOPs stays serial (spawn
+//!   cost ~10µs/thread would dominate);
+//! - otherwise [`max_threads`] threads are used: the `SMFL_THREADS`
+//!   environment variable when set (≥ 1, uncapped — an explicit override
+//!   wins), else `available_parallelism` capped at 8.
+
+use std::sync::OnceLock;
+
+/// Work items smaller than this many FLOPs stay on a single thread; the
+/// threshold amortizes thread-spawn cost (~10µs per thread).
+pub const PARALLEL_FLOP_THRESHOLD: usize = 2_000_000;
+
+/// The thread-pool width used once a work item crosses the threshold.
+///
+/// Reads the `SMFL_THREADS` environment variable once per process (the
+/// first call wins; later changes to the variable are ignored). Values
+/// that fail to parse or are zero fall back to the hardware default of
+/// `available_parallelism` capped at 8.
+pub fn max_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("SMFL_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(8)
+            })
+    })
+}
+
+/// Number of threads to use for a work item of `flops` floating-point
+/// operations: 1 below [`PARALLEL_FLOP_THRESHOLD`], [`max_threads`]
+/// above it.
+pub fn threads_for(flops: usize) -> usize {
+    if flops < PARALLEL_FLOP_THRESHOLD {
+        return 1;
+    }
+    max_threads()
+}
+
+/// Splits `out` (a `total_rows x row_width` row-major buffer of any
+/// element type) into contiguous row stripes and runs
+/// `body(start_row, end_row, stripe)` on scoped threads.
+///
+/// With `threads <= 1` (or a degenerate shape) the body runs inline on
+/// the full slice — callers never need a separate serial dispatch. The
+/// decomposition is deterministic: stripe boundaries depend only on
+/// `total_rows` and `threads`, and each stripe is written independently,
+/// so results are bitwise-identical for every thread count.
+///
+/// Shared by the dense products in [`crate::ops`], the sparse-residual
+/// kernels in [`crate::kernels`], and the spatial substrate's bulk kNN
+/// and k-means assignment loops (which stripe `(index, distance)` pairs
+/// and per-point bound structs rather than `f64`s — hence the generic
+/// element type).
+pub fn parallel_over_rows<T, F>(
+    out: &mut [T],
+    row_width: usize,
+    total_rows: usize,
+    threads: usize,
+    body: F,
+) where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    if threads <= 1 || row_width == 0 || total_rows <= 1 {
+        body(0, total_rows, out);
+        return;
+    }
+    let chunk_rows = total_rows.div_ceil(threads);
+    let body = &body;
+    std::thread::scope(|s| {
+        for (ci, chunk) in out.chunks_mut(chunk_rows * row_width).enumerate() {
+            let start = ci * chunk_rows;
+            let end = (start + chunk.len() / row_width).min(total_rows);
+            s.spawn(move || body(start, end, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_respect_threshold() {
+        assert_eq!(threads_for(0), 1);
+        assert_eq!(threads_for(PARALLEL_FLOP_THRESHOLD - 1), 1);
+        assert!(threads_for(PARALLEL_FLOP_THRESHOLD) >= 1);
+    }
+
+    #[test]
+    fn serial_dispatch_runs_inline() {
+        let mut out = vec![0u32; 6];
+        parallel_over_rows(&mut out, 2, 3, 1, |start, end, chunk| {
+            assert_eq!((start, end), (0, 3));
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        });
+        assert!(out.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn stripes_cover_all_rows_disjointly() {
+        for threads in 1..6 {
+            for rows in [0usize, 1, 2, 5, 16, 17] {
+                let width = 3;
+                let mut out = vec![usize::MAX; rows * width];
+                parallel_over_rows(&mut out, width, rows, threads, |start, end, chunk| {
+                    assert_eq!(chunk.len(), (end - start) * width);
+                    for (r, row) in chunk.chunks_mut(width).enumerate() {
+                        row.fill(start + r);
+                    }
+                });
+                for r in 0..rows {
+                    assert!(out[r * width..(r + 1) * width].iter().all(|&v| v == r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generic_over_non_float_elements() {
+        let mut out = vec![(0usize, 0.0f64); 8];
+        parallel_over_rows(&mut out, 2, 4, 2, |start, _end, chunk| {
+            for (r, row) in chunk.chunks_mut(2).enumerate() {
+                for e in row.iter_mut() {
+                    *e = (start + r, (start + r) as f64);
+                }
+            }
+        });
+        for r in 0..4 {
+            assert_eq!(out[2 * r], (r, r as f64));
+            assert_eq!(out[2 * r + 1], (r, r as f64));
+        }
+    }
+
+    #[test]
+    fn zero_width_rows_run_inline() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut out: Vec<f64> = Vec::new();
+        let calls = AtomicUsize::new(0);
+        parallel_over_rows(&mut out, 0, 5, 4, |start, end, _chunk| {
+            assert_eq!((start, end), (0, 5));
+            calls.fetch_add(1, Ordering::SeqCst);
+        });
+        // Body runs exactly once, inline.
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+}

@@ -69,6 +69,67 @@ impl CsrMatrix {
         })
     }
 
+    /// Builds a CSR matrix directly from its raw arrays, skipping the
+    /// triplet sort/merge — for callers (e.g. the spatial-graph assembly
+    /// in `smfl-spatial`) that already produce row-grouped, column-sorted
+    /// entries.
+    ///
+    /// Invariants checked (O(nnz)):
+    /// - `row_ptr` has `rows + 1` monotone entries starting at 0 and
+    ///   ending at `col_idx.len() == values.len()`;
+    /// - within each row, columns are strictly ascending and `< cols`;
+    /// - no explicit zero values (the structural-zero-free invariant
+    ///   [`CsrMatrix::from_triplets`] maintains).
+    ///
+    /// # Errors
+    /// [`LinalgError::BadLength`] for inconsistent array lengths or a
+    /// malformed `row_ptr`; [`LinalgError::IndexOutOfBounds`] for
+    /// unsorted/duplicate/out-of-range columns or an explicit zero.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1
+            || row_ptr.first() != Some(&0)
+            || row_ptr.last() != Some(&col_idx.len())
+            || col_idx.len() != values.len()
+        {
+            return Err(LinalgError::BadLength {
+                expected: col_idx.len(),
+                actual: values.len(),
+            });
+        }
+        for i in 0..rows {
+            if row_ptr[i] > row_ptr[i + 1] {
+                return Err(LinalgError::BadLength {
+                    expected: row_ptr[i],
+                    actual: row_ptr[i + 1],
+                });
+            }
+            let mut prev = None;
+            let span = row_ptr[i]..row_ptr[i + 1];
+            for (&j, &v) in col_idx[span.clone()].iter().zip(&values[span]) {
+                if j >= cols || prev.is_some_and(|p| p >= j) || v == 0.0 {
+                    return Err(LinalgError::IndexOutOfBounds {
+                        index: (i, j),
+                        shape: (rows, cols),
+                    });
+                }
+                prev = Some(j);
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
     /// Builds a diagonal CSR matrix from `diag`.
     pub fn diagonal(diag: &[f64]) -> Self {
         let n = diag.len();
@@ -383,5 +444,47 @@ mod tests {
     fn empty_rows_have_empty_ranges() {
         let m = sample();
         assert_eq!(m.row_entries(1).count(), 0);
+    }
+
+    #[test]
+    fn from_parts_matches_from_triplets() {
+        let triplets = [(0usize, 1usize, 2.0), (0, 2, 3.0), (2, 0, -1.0)];
+        let via_triplets = CsrMatrix::from_triplets(3, 3, &triplets).unwrap();
+        let via_parts = CsrMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 3],
+            vec![1, 2, 0],
+            vec![2.0, 3.0, -1.0],
+        )
+        .unwrap();
+        assert_eq!(via_triplets, via_parts);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_inputs() {
+        // Wrong row_ptr length.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // row_ptr not ending at nnz.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![0], vec![1.0]).is_err());
+        // Non-monotone row_ptr.
+        assert!(
+            CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
+        );
+        // Unsorted columns within a row.
+        assert!(
+            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
+        );
+        // Duplicate column.
+        assert!(
+            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err()
+        );
+        // Column out of range.
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // Explicit structural zero.
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![0], vec![0.0]).is_err());
+        // Empty matrix is fine.
+        let empty = CsrMatrix::from_parts(0, 4, vec![0], vec![], vec![]).unwrap();
+        assert_eq!(empty.nnz(), 0);
     }
 }

@@ -8,7 +8,7 @@
 //! entries, so the per-iteration products `D·U` / `W·U` in the update
 //! rule (Formula 13) cost `O(nnz·K)` instead of `O(N²K)`.
 
-use crate::kdtree::{brute_force_nearest, KdTree};
+use crate::kdtree::{brute_force_nearest, KdTree, Neighbor};
 use smfl_linalg::{CsrMatrix, Mask, Matrix, Result};
 
 /// How neighbour lists are computed when building the graph.
@@ -63,6 +63,18 @@ impl SpatialGraph {
         Self::build_weighted(si, p, search, GraphWeighting::Binary)
     }
 
+    /// [`SpatialGraph::build`] with an explicit thread count (`0` =
+    /// automatic) bounding both kd-tree construction and the bulk kNN
+    /// query. Every thread count yields the identical graph.
+    pub fn build_with_threads(
+        si: &Matrix,
+        p: usize,
+        search: NeighborSearch,
+        threads: usize,
+    ) -> Result<SpatialGraph> {
+        Self::build_weighted_with_threads(si, p, search, GraphWeighting::Binary, threads)
+    }
+
     /// [`SpatialGraph::build`] with an explicit edge-weighting scheme.
     pub fn build_weighted(
         si: &Matrix,
@@ -70,57 +82,56 @@ impl SpatialGraph {
         search: NeighborSearch,
         weighting: GraphWeighting,
     ) -> Result<SpatialGraph> {
+        Self::build_weighted_with_threads(si, p, search, weighting, 0)
+    }
+
+    /// The full-control constructor: explicit weighting and thread count.
+    ///
+    /// The pipeline is (1) a bulk kNN pass answering all `N` queries in
+    /// parallel chunks, then (2) a serial sort/merge assembly that
+    /// symmetrizes the directed edge lists and emits `D`, `W` and
+    /// `L = W − D` directly in CSR form — one counting pass, no hashing,
+    /// no triplet intermediates.
+    pub fn build_weighted_with_threads(
+        si: &Matrix,
+        p: usize,
+        search: NeighborSearch,
+        weighting: GraphWeighting,
+        threads: usize,
+    ) -> Result<SpatialGraph> {
         let n = si.rows();
-        let mut pairs: Vec<(usize, usize, f64)> = Vec::with_capacity(n * p);
-        match search {
+        // Directed p-NN edge lists, flat query-major: entry `q * kk + t`
+        // is the t-th nearest neighbour of point q as `(index, sq_dist)`.
+        let (neighbors, kk): (Vec<Neighbor>, usize) = match search {
             NeighborSearch::KdTree => {
-                let tree = KdTree::build(si);
-                for i in 0..n {
-                    for (j, d2) in tree.nearest(si.row(i), p, i) {
-                        pairs.push((i, j, d2));
-                    }
-                }
+                let tree = KdTree::build_with_threads(si, threads);
+                let kk = tree.bulk_k(p, true);
+                (tree.nearest_bulk_with_threads(si, p, true, threads), kk)
             }
             NeighborSearch::BruteForce => {
+                let kk = p.min(n.saturating_sub(1));
+                let mut flat = Vec::with_capacity(n * kk);
                 for i in 0..n {
-                    for (j, d2) in brute_force_nearest(si, si.row(i), p, i) {
-                        pairs.push((i, j, d2));
-                    }
+                    flat.extend(brute_force_nearest(si, si.row(i), p, i));
                 }
-            }
-        }
-        // Symmetrize: d_ij set if either direction is a p-NN relation.
-        let weight = |d2: f64| match weighting {
-            GraphWeighting::Binary => 1.0,
-            GraphWeighting::HeatKernel { sigma } => {
-                (-d2 / (2.0 * sigma * sigma).max(1e-300)).exp()
+                (flat, kk)
             }
         };
-        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(pairs.len() * 2);
-        let mut seen = std::collections::HashSet::with_capacity(pairs.len() * 2);
-        for (i, j, d2) in pairs {
-            let w = weight(d2);
-            if seen.insert((i, j)) {
-                triplets.push((i, j, w));
+        // Hoist the weighting dispatch out of the per-edge loop; both
+        // directions of an edge see bitwise-identical squared distances
+        // ((a−b)² ≡ (b−a)² summed in the same dimension order), so the
+        // weight function is evaluated once per direction with equal
+        // results and the adjacent dedupe below is order-independent.
+        let similarity = match weighting {
+            GraphWeighting::Binary => assemble_symmetric(n, kk, &neighbors, |_| 1.0),
+            GraphWeighting::HeatKernel { sigma } => {
+                let denom = (2.0 * sigma * sigma).max(1e-300);
+                assemble_symmetric(n, kk, &neighbors, move |d2| (-d2 / denom).exp())
             }
-            if seen.insert((j, i)) {
-                triplets.push((j, i, w));
-            }
-        }
-        let similarity = CsrMatrix::from_triplets(n, n, &triplets)?;
+        }?;
         let degrees = similarity.row_sums();
         let degree = CsrMatrix::diagonal(&degrees);
-        // L = W − D as one triplet pass.
-        let mut lap_triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(similarity.nnz() + n);
-        for (i, &deg) in degrees.iter().enumerate() {
-            if deg != 0.0 {
-                lap_triplets.push((i, i, deg));
-            }
-            for (j, v) in similarity.row_entries(i) {
-                lap_triplets.push((i, j, -v));
-            }
-        }
-        let laplacian = CsrMatrix::from_triplets(n, n, &lap_triplets)?;
+        let laplacian = assemble_laplacian(&similarity, &degrees)?;
         Ok(SpatialGraph {
             similarity,
             degree,
@@ -144,6 +155,99 @@ impl SpatialGraph {
     pub fn regularization(&self, u: &Matrix) -> Result<f64> {
         self.laplacian.quadratic_form(u)
     }
+}
+
+/// Symmetrizes flat directed kNN edge lists (`kk` hits per query) into
+/// the similarity matrix `D` in CSR form.
+///
+/// One counting pass sizes every row bucket exactly (kk out-edges plus
+/// one in-edge per query that selected the row), a scatter pass fills
+/// the buckets, and a per-row sort + adjacent dedupe collapses mutual
+/// edges — keeping one copy, which matches the old hash-set first-wins
+/// symmetrization because duplicate directions carry bitwise-identical
+/// weights. Zero weights (heat-kernel underflow) are dropped, matching
+/// `from_triplets` semantics.
+fn assemble_symmetric<F>(
+    n: usize,
+    kk: usize,
+    neighbors: &[Neighbor],
+    weight: F,
+) -> Result<CsrMatrix>
+where
+    F: Fn(f64) -> f64,
+{
+    debug_assert_eq!(neighbors.len(), n * kk);
+    let mut counts = vec![kk; n];
+    for &(j, _) in neighbors {
+        counts[j] += 1;
+    }
+    let mut start = Vec::with_capacity(n + 1);
+    start.push(0usize);
+    let mut acc = 0usize;
+    for &c in &counts {
+        acc += c;
+        start.push(acc);
+    }
+    let mut fill = start[..n].to_vec();
+    let mut bucket: Vec<(usize, f64)> = vec![(0, 0.0); acc];
+    for q in 0..n {
+        for &(j, d2) in &neighbors[q * kk..(q + 1) * kk] {
+            let w = weight(d2);
+            bucket[fill[q]] = (j, w);
+            fill[q] += 1;
+            bucket[fill[j]] = (q, w);
+            fill[j] += 1;
+        }
+    }
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::with_capacity(acc);
+    let mut values = Vec::with_capacity(acc);
+    row_ptr.push(0usize);
+    for i in 0..n {
+        let row = &mut bucket[start[i]..start[i + 1]];
+        row.sort_unstable_by_key(|&(c, _)| c);
+        let mut last = usize::MAX;
+        for &(c, w) in row.iter() {
+            if c != last && w != 0.0 {
+                col_idx.push(c);
+                values.push(w);
+            }
+            last = c;
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_parts(n, n, row_ptr, col_idx, values)
+}
+
+/// Builds `L = W − D` directly in CSR form from the similarity matrix
+/// and its row sums: each row is the negated similarity row with the
+/// degree spliced in at its column-sorted diagonal position (omitted
+/// when zero, matching `from_triplets` zero-dropping).
+fn assemble_laplacian(similarity: &CsrMatrix, degrees: &[f64]) -> Result<CsrMatrix> {
+    let n = similarity.rows();
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::with_capacity(similarity.nnz() + n);
+    let mut values = Vec::with_capacity(similarity.nnz() + n);
+    row_ptr.push(0usize);
+    for (i, &deg) in degrees.iter().enumerate() {
+        // Similarity has no self-loops, so the diagonal slot is free.
+        let mut inserted = deg == 0.0;
+        for (j, v) in similarity.row_entries(i) {
+            if !inserted && j > i {
+                col_idx.push(i);
+                values.push(deg);
+                inserted = true;
+            }
+            col_idx.push(j);
+            values.push(-v);
+        }
+        if !inserted {
+            col_idx.push(i);
+            values.push(deg);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_parts(n, n, row_ptr, col_idx, values)
 }
 
 /// Prepares spatial information for graph construction when some SI
@@ -362,6 +466,23 @@ mod tests {
             let u = smfl_linalg::random::uniform_matrix(25, 3, -2.0, 2.0, seed);
             assert!(g.regularization(&u).unwrap() >= -1e-9);
         }
+    }
+
+    #[test]
+    fn graph_is_invariant_across_thread_counts() {
+        let pts = uniform_matrix(120, 2, 0.0, 1.0, 33);
+        let serial = SpatialGraph::build_with_threads(&pts, 4, NeighborSearch::KdTree, 1).unwrap();
+        for threads in [0usize, 2, 5] {
+            let g =
+                SpatialGraph::build_with_threads(&pts, 4, NeighborSearch::KdTree, threads).unwrap();
+            assert_eq!(g.similarity, serial.similarity);
+            assert_eq!(g.degree, serial.degree);
+            assert_eq!(g.laplacian, serial.laplacian);
+        }
+        // And the oracle path agrees bitwise as well.
+        let oracle = SpatialGraph::build(&pts, 4, NeighborSearch::BruteForce).unwrap();
+        assert_eq!(serial.similarity, oracle.similarity);
+        assert_eq!(serial.laplacian, oracle.laplacian);
     }
 
     #[test]

@@ -6,7 +6,17 @@
 //! cost to `O(N log N)` for the low-dimensional (`L = 2`) spatial
 //! information. Both paths exist; the brute-force oracle doubles as the
 //! correctness reference in tests (DESIGN.md ablation #3).
+//!
+//! Both construction and querying scale with cores through
+//! [`smfl_linalg::parallel`]: [`KdTree::build`] spawns subtree builds at
+//! the top median splits (each subtree owns a disjoint pre-sized range
+//! of the preorder node array, so the finished tree is bitwise-identical
+//! for every thread count), and [`KdTree::nearest_bulk`] answers all
+//! queries in balanced chunks across threads with one reused
+//! neighbour-heap per chunk — no per-query heap allocation.
 
+use crate::metric::sq_dist;
+use smfl_linalg::parallel::{parallel_over_rows, threads_for};
 use smfl_linalg::Matrix;
 use std::cmp::Ordering;
 
@@ -30,24 +40,53 @@ struct Node {
 
 const NONE: usize = usize::MAX;
 
+/// Subtrees smaller than this build serially; above it, construction may
+/// fork at the median split when threads remain in the budget.
+const BUILD_SPAWN_MIN: usize = 1024;
+
 /// A neighbour hit: `(row_index, squared_distance)`.
 pub type Neighbor = (usize, f64);
 
+/// Rough FLOP cost of building a tree over `n` points — drives the
+/// automatic thread count.
+fn build_cost(n: usize) -> usize {
+    let log_n = (usize::BITS - n.leading_zeros()) as usize;
+    n.saturating_mul(log_n).saturating_mul(16)
+}
+
 impl KdTree {
-    /// Builds a kd-tree over the rows of `points`.
+    /// Builds a kd-tree over the rows of `points`, choosing the thread
+    /// count automatically.
     pub fn build(points: &Matrix) -> Self {
+        Self::build_with_threads(points, 0)
+    }
+
+    /// [`KdTree::build`] with an explicit thread count (`0` = automatic).
+    /// The resulting tree is bitwise-identical for every `threads` value.
+    pub fn build_with_threads(points: &Matrix, threads: usize) -> Self {
         let n = points.rows();
         let mut indices: Vec<usize> = (0..n).collect();
-        let mut nodes = Vec::with_capacity(n);
-        let root = if n == 0 {
-            NONE
+        let mut nodes = vec![
+            Node {
+                point: 0,
+                axis: 0,
+                left: NONE,
+                right: NONE,
+            };
+            n
+        ];
+        let threads = if threads == 0 {
+            threads_for(build_cost(n))
         } else {
-            build_recursive(points, &mut indices[..], 0, &mut nodes)
+            threads
         };
+        if n > 0 {
+            build_into(points, &mut indices, 0, &mut nodes, 0, threads);
+        }
         KdTree {
             points: points.clone(),
             nodes,
-            root,
+            root: if n == 0 { NONE } else { 0 },
         }
     }
 
@@ -71,6 +110,83 @@ impl KdTree {
             self.search(self.root, query, exclude, &mut heap);
         }
         heap.into_sorted()
+    }
+
+    /// Per-query result count of a bulk query: `k` clamped to the number
+    /// of candidate points (`len - 1` under self-exclusion).
+    pub fn bulk_k(&self, k: usize, exclude_self: bool) -> usize {
+        k.min(self.len().saturating_sub(exclude_self as usize))
+    }
+
+    /// Answers one kNN query per row of `queries`, in parallel chunks
+    /// across threads (count chosen automatically).
+    ///
+    /// Returns a flat query-major array: entry `q * kk + t` is the
+    /// `t`-th-nearest hit of query `q`, where `kk =`
+    /// [`KdTree::bulk_k`]`(k, exclude_self)`. With `exclude_self`, query
+    /// row `q` excludes tree point `q` — the self-exclusion the
+    /// similarity graph needs when querying the indexed points
+    /// themselves. Results are bitwise-identical to calling
+    /// [`KdTree::nearest`] per row, for every thread count.
+    pub fn nearest_bulk(&self, queries: &Matrix, k: usize, exclude_self: bool) -> Vec<Neighbor> {
+        self.nearest_bulk_with_threads(queries, k, exclude_self, 0)
+    }
+
+    /// [`KdTree::nearest_bulk`] with an explicit thread count
+    /// (`0` = automatic).
+    pub fn nearest_bulk_with_threads(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        exclude_self: bool,
+        threads: usize,
+    ) -> Vec<Neighbor> {
+        let kk = self.bulk_k(k, exclude_self);
+        let mut out = vec![(NONE, f64::INFINITY); queries.rows() * kk];
+        self.nearest_bulk_into(queries, k, exclude_self, threads, &mut out);
+        out
+    }
+
+    /// [`KdTree::nearest_bulk`] into a caller-owned buffer of exactly
+    /// `queries.rows() * bulk_k(k, exclude_self)` entries, so steady-state
+    /// callers allocate nothing per query (one scratch heap per thread
+    /// chunk is the only transient). `threads == 0` = automatic.
+    ///
+    /// # Panics
+    /// When `out` has the wrong length.
+    pub fn nearest_bulk_into(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        exclude_self: bool,
+        threads: usize,
+        out: &mut [Neighbor],
+    ) {
+        let nq = queries.rows();
+        let kk = self.bulk_k(k, exclude_self);
+        assert_eq!(
+            out.len(),
+            nq * kk,
+            "nearest_bulk_into: output buffer must hold queries x bulk_k entries"
+        );
+        if kk == 0 {
+            return;
+        }
+        let log_n = (usize::BITS - self.len().leading_zeros()) as usize;
+        let threads = if threads == 0 {
+            threads_for(nq.saturating_mul(kk).saturating_mul(log_n).saturating_mul(8))
+        } else {
+            threads
+        };
+        parallel_over_rows(out, kk, nq, threads, |start, end, chunk| {
+            let mut heap = BoundedMaxHeap::new(kk);
+            for q in start..end {
+                heap.clear();
+                let exclude = if exclude_self { q } else { NONE };
+                self.search(self.root, queries.row(q), exclude, &mut heap);
+                heap.sorted_into(&mut chunk[(q - start) * kk..(q - start + 1) * kk]);
+            }
+        });
     }
 
     fn search(&self, node_idx: usize, query: &[f64], exclude: usize, heap: &mut BoundedMaxHeap) {
@@ -97,18 +213,26 @@ impl KdTree {
     }
 }
 
-fn build_recursive(
+/// Builds the subtree over `indices` into `nodes` (a slice of exactly
+/// `indices.len()` preorder slots whose first global index is `base`),
+/// forking at the median split while `threads > 1` and the subtree is
+/// large enough. The preorder layout depends only on the data, so every
+/// thread count produces the identical node array.
+fn build_into(
     points: &Matrix,
     indices: &mut [usize],
     depth: usize,
-    nodes: &mut Vec<Node>,
-) -> usize {
-    if indices.is_empty() {
-        return NONE;
+    nodes: &mut [Node],
+    base: usize,
+    threads: usize,
+) {
+    let len = indices.len();
+    if len == 0 {
+        return;
     }
     let dims = points.cols().max(1);
     let axis = depth % dims;
-    let mid = indices.len() / 2;
+    let mid = len / 2;
     indices.select_nth_unstable_by(mid, |&a, &b| {
         points
             .get(a, axis)
@@ -116,36 +240,44 @@ fn build_recursive(
             .unwrap_or(Ordering::Equal)
     });
     let point = indices[mid];
-    let slot = nodes.len();
-    nodes.push(Node {
-        point,
-        axis,
-        left: NONE,
-        right: NONE,
-    });
-    // Split into two owned ranges around the median.
+    // Split into two owned ranges around the median; the left subtree
+    // owns preorder slots base+1 .. base+1+mid, the right subtree the
+    // remainder — both sizes are known up front, which is what allows
+    // the two recursions to run on different threads.
     let (left_part, rest) = indices.split_at_mut(mid);
     let right_part = &mut rest[1..];
-    let left = build_recursive(points, left_part, depth + 1, nodes);
-    let right = build_recursive(points, right_part, depth + 1, nodes);
-    nodes[slot].left = left;
-    nodes[slot].right = right;
-    slot
-}
-
-#[inline]
-fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    let (node_slot, rest_nodes) = nodes.split_first_mut().expect("len > 0");
+    let (left_nodes, right_nodes) = rest_nodes.split_at_mut(mid);
+    *node_slot = Node {
+        point,
+        axis,
+        left: if mid > 0 { base + 1 } else { NONE },
+        right: if len > mid + 1 { base + 1 + mid } else { NONE },
+    };
+    if threads > 1 && len >= BUILD_SPAWN_MIN {
+        let left_threads = threads / 2;
+        let right_threads = threads - left_threads;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                build_into(points, left_part, depth + 1, left_nodes, base + 1, left_threads)
+            });
+            build_into(
+                points,
+                right_part,
+                depth + 1,
+                right_nodes,
+                base + 1 + mid,
+                right_threads,
+            );
+        });
+    } else {
+        build_into(points, left_part, depth + 1, left_nodes, base + 1, 1);
+        build_into(points, right_part, depth + 1, right_nodes, base + 1 + mid, 1);
+    }
 }
 
 /// Fixed-capacity max-heap over `(index, sq_dist)` keeping the k smallest
-/// distances seen.
+/// distances seen. Reusable across queries via [`BoundedMaxHeap::clear`].
 struct BoundedMaxHeap {
     cap: usize,
     items: Vec<Neighbor>,
@@ -157,6 +289,10 @@ impl BoundedMaxHeap {
             cap,
             items: Vec::with_capacity(cap + 1),
         }
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
     }
 
     fn len(&self) -> usize {
@@ -219,13 +355,26 @@ impl BoundedMaxHeap {
         }
     }
 
-    fn into_sorted(mut self) -> Vec<Neighbor> {
-        self.items.sort_by(|a, b| {
+    /// Sorts the retained hits in place (ascending distance, ties by
+    /// index — a total order, so the unstable sort is deterministic).
+    fn sort(&mut self) {
+        self.items.sort_unstable_by(|a, b| {
             a.1.partial_cmp(&b.1)
                 .unwrap_or(Ordering::Equal)
                 .then(a.0.cmp(&b.0))
         });
+    }
+
+    fn into_sorted(mut self) -> Vec<Neighbor> {
+        self.sort();
         self.items
+    }
+
+    /// Sorts and copies the retained hits into `out` without allocating.
+    fn sorted_into(&mut self, out: &mut [Neighbor]) {
+        self.sort();
+        debug_assert_eq!(out.len(), self.items.len());
+        out.copy_from_slice(&self.items);
     }
 }
 
@@ -241,7 +390,7 @@ pub fn brute_force_nearest(
         .filter(|&i| i != exclude)
         .map(|i| (i, sq_dist(points.row(i), query)))
         .collect();
-    all.sort_by(|a, b| {
+    all.sort_unstable_by(|a, b| {
         a.1.partial_cmp(&b.1)
             .unwrap_or(Ordering::Equal)
             .then(a.0.cmp(&b.0))
@@ -285,6 +434,7 @@ mod tests {
         let empty = KdTree::build(&Matrix::zeros(0, 2));
         assert!(empty.is_empty());
         assert!(empty.nearest(&[0.0, 0.0], 3, usize::MAX).is_empty());
+        assert!(empty.nearest_bulk(&Matrix::zeros(0, 2), 3, true).is_empty());
     }
 
     #[test]
@@ -346,5 +496,52 @@ mod tests {
         for w in hits.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn parallel_build_is_bitwise_identical_to_serial() {
+        // Above BUILD_SPAWN_MIN so the parallel path actually forks.
+        let pts = uniform_matrix(3000, 2, 0.0, 1.0, 17);
+        let serial = KdTree::build_with_threads(&pts, 1);
+        for threads in [2usize, 3, 4] {
+            let par = KdTree::build_with_threads(&pts, threads);
+            assert_eq!(par.root, serial.root);
+            assert_eq!(par.nodes.len(), serial.nodes.len());
+            for (a, b) in par.nodes.iter().zip(&serial.nodes) {
+                assert_eq!(
+                    (a.point, a.axis, a.left, a.right),
+                    (b.point, b.axis, b.left, b.right)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_matches_per_query_nearest() {
+        let pts = uniform_matrix(150, 3, 0.0, 1.0, 23);
+        let tree = KdTree::build(&pts);
+        for &(k, exclude_self) in &[(1usize, true), (4, true), (4, false), (200, true)] {
+            let kk = tree.bulk_k(k, exclude_self);
+            for threads in [0usize, 1, 3] {
+                let flat = tree.nearest_bulk_with_threads(&pts, k, exclude_self, threads);
+                assert_eq!(flat.len(), 150 * kk);
+                for q in 0..150 {
+                    let exclude = if exclude_self { q } else { usize::MAX };
+                    let reference = tree.nearest(pts.row(q), kk, exclude);
+                    assert_eq!(&flat[q * kk..(q + 1) * kk], &reference[..], "query {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_into_reuses_caller_buffer() {
+        let pts = uniform_matrix(80, 2, 0.0, 1.0, 31);
+        let tree = KdTree::build(&pts);
+        let kk = tree.bulk_k(3, true);
+        let mut out = vec![(usize::MAX, f64::INFINITY); 80 * kk];
+        tree.nearest_bulk_into(&pts, 3, true, 1, &mut out);
+        let fresh = tree.nearest_bulk(&pts, 3, true);
+        assert_eq!(out, fresh);
     }
 }

@@ -6,12 +6,22 @@
 //! rank `K`, so each learned feature row of `V` is anchored at one
 //! cluster centre. The default iteration cap is `t₂ = 300` with early
 //! stop, exactly as the paper's Proposition 1 discussion states.
+//!
+//! Two assignment engines are provided and produce **bitwise-identical**
+//! results for a fixed seed: textbook Lloyd ([`KMeansAlgorithm::Lloyd`])
+//! and Hamerly's triangle-inequality pruned iteration
+//! ([`KMeansAlgorithm::Hamerly`], the default), which skips the
+//! per-centre scan for points whose bounds prove their assignment cannot
+//! change. Both run the assignment step in parallel row stripes
+//! ([`smfl_linalg::parallel`]) and allocate nothing per iteration.
 
 // Index-based loops mirror the textbook Lloyd/k-means++ formulas.
 #![allow(clippy::needless_range_loop)]
 
+use crate::metric::sq_dist;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use smfl_linalg::parallel::{parallel_over_rows, threads_for};
 use smfl_linalg::{LinalgError, Matrix, Result};
 
 /// Configuration for [`kmeans`].
@@ -27,6 +37,11 @@ pub struct KMeansConfig {
     pub seed: u64,
     /// Seeding strategy.
     pub init: KMeansInit,
+    /// Assignment engine; both variants give identical results.
+    pub algorithm: KMeansAlgorithm,
+    /// Threads for the assignment step (`0` = automatic). Results are
+    /// identical for every value.
+    pub threads: usize,
 }
 
 /// Seeding strategy for k-means.
@@ -40,9 +55,24 @@ pub enum KMeansInit {
     Random,
 }
 
+/// Assignment-step engine for [`kmeans`].
+///
+/// Both produce bitwise-identical centres, labels and iteration counts
+/// for the same seed — Hamerly prunes work, never changes answers (the
+/// proptests pin this down exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KMeansAlgorithm {
+    /// Textbook Lloyd: every point scans every centre each iteration.
+    Lloyd,
+    /// Hamerly's bounded iteration (default): per-point upper/lower
+    /// distance bounds plus half the nearest inter-centre distance prove
+    /// most assignments unchanged without touching the centres at all.
+    Hamerly,
+}
+
 impl KMeansConfig {
     /// Paper defaults for a given `k`: 300 iterations, `tol = 1e-9`,
-    /// k-means++ seeding.
+    /// k-means++ seeding, Hamerly assignment.
     pub fn new(k: usize) -> Self {
         KMeansConfig {
             k,
@@ -50,6 +80,8 @@ impl KMeansConfig {
             tol: 1e-9,
             seed: 0,
             init: KMeansInit::PlusPlus,
+            algorithm: KMeansAlgorithm::Hamerly,
+            threads: 0,
         }
     }
 
@@ -70,6 +102,18 @@ impl KMeansConfig {
         self.max_iter = max_iter;
         self
     }
+
+    /// Overrides the assignment engine.
+    pub fn with_algorithm(mut self, algorithm: KMeansAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Overrides the assignment thread count (`0` = automatic).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 /// Result of a k-means run.
@@ -86,7 +130,7 @@ pub struct KMeansResult {
     pub iterations: usize,
 }
 
-/// Runs Lloyd's algorithm on the rows of `points`.
+/// Runs k-means on the rows of `points`.
 ///
 /// # Errors
 /// [`LinalgError::Empty`] when `points` has no rows or `k == 0`;
@@ -105,49 +149,18 @@ pub fn kmeans(points: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
         KMeansInit::Random => random_seeds(points, k, &mut rng),
     };
 
-    let mut labels = vec![0usize; n];
-    let mut iterations = 0;
-    for it in 0..config.max_iter.max(1) {
-        iterations = it + 1;
-        // Assignment step.
-        for (i, label) in labels.iter_mut().enumerate() {
-            *label = nearest_center(points.row(i), &centers);
-        }
-        // Update step.
-        let mut sums = Matrix::zeros(k, dims);
-        let mut counts = vec![0usize; k];
-        for (i, &label) in labels.iter().enumerate() {
-            counts[label] += 1;
-            let row = points.row(i);
-            let srow = sums.row_mut(label);
-            for (d, &v) in row.iter().enumerate() {
-                srow[d] += v;
-            }
-        }
-        let mut movement = 0.0;
-        for c in 0..k {
-            if counts[c] == 0 {
-                // Re-seed an empty cluster at the point farthest from its
-                // centre to avoid dead centroids.
-                let far = farthest_point(points, &centers, &labels);
-                let row = points.row(far).to_vec();
-                movement += sq_dist(centers.row(c), &row);
-                centers.row_mut(c).copy_from_slice(&row);
-                continue;
-            }
-            let inv = 1.0 / counts[c] as f64;
-            let mut new_center = vec![0.0; dims];
-            for (d, nc) in new_center.iter_mut().enumerate() {
-                *nc = sums.get(c, d) * inv;
-            }
-            movement += sq_dist(centers.row(c), &new_center);
-            centers.row_mut(c).copy_from_slice(&new_center);
-        }
-        if movement.sqrt() <= config.tol {
-            break;
-        }
-    }
+    let threads = if config.threads == 0 {
+        threads_for(assignment_cost(n, k, dims))
+    } else {
+        config.threads
+    };
+    let iterations = match config.algorithm {
+        KMeansAlgorithm::Lloyd => run_lloyd(points, &mut centers, config, threads),
+        KMeansAlgorithm::Hamerly => run_hamerly(points, &mut centers, config, threads),
+    };
+
     // Final assignment and inertia with the converged centres.
+    let mut labels = vec![0usize; n];
     let mut inertia = 0.0;
     for (i, label) in labels.iter_mut().enumerate() {
         *label = nearest_center(points.row(i), &centers);
@@ -159,6 +172,246 @@ pub fn kmeans(points: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
         inertia,
         iterations,
     })
+}
+
+/// Rough FLOP cost of one assignment sweep, for the thread heuristic.
+fn assignment_cost(n: usize, k: usize, dims: usize) -> usize {
+    n.saturating_mul(k).saturating_mul(dims.max(1)).saturating_mul(3)
+}
+
+/// Per-iteration scratch for the update step — allocated once per run so
+/// the iteration loop itself is allocation-free.
+struct UpdateScratch {
+    /// Per-cluster coordinate sums (`k x dims`).
+    sums: Matrix,
+    /// Per-cluster member counts.
+    counts: Vec<usize>,
+    /// Staging buffer for one recomputed centre.
+    new_center: Vec<f64>,
+    /// Staging buffer for a reseeded centre's point row.
+    row: Vec<f64>,
+    /// Per-centre moved distance (Euclidean, not squared) — feeds the
+    /// Hamerly bound updates.
+    deltas: Vec<f64>,
+}
+
+impl UpdateScratch {
+    fn new(k: usize, dims: usize) -> Self {
+        UpdateScratch {
+            sums: Matrix::zeros(k, dims),
+            counts: vec![0; k],
+            new_center: vec![0.0; dims],
+            row: vec![0.0; dims],
+            deltas: vec![0.0; k],
+        }
+    }
+}
+
+/// The shared centre-update step: recomputes every centre as the mean of
+/// its members (reseeding empty clusters at the farthest point, exactly
+/// as before), records per-centre moved distances in `scratch.deltas`,
+/// and returns the summed squared movement for the stopping test.
+///
+/// Both engines call this with identical label vectors, and every
+/// floating-point accumulation happens in the same order as the original
+/// Lloyd implementation, so the two engines stay bitwise in lockstep.
+fn update_centers(
+    points: &Matrix,
+    labels: &[usize],
+    centers: &mut Matrix,
+    scratch: &mut UpdateScratch,
+) -> f64 {
+    let k = centers.rows();
+    scratch.sums.as_mut_slice().fill(0.0);
+    scratch.counts.fill(0);
+    for (i, &label) in labels.iter().enumerate() {
+        scratch.counts[label] += 1;
+        let row = points.row(i);
+        let srow = scratch.sums.row_mut(label);
+        for (d, &v) in row.iter().enumerate() {
+            srow[d] += v;
+        }
+    }
+    let mut movement = 0.0;
+    for c in 0..k {
+        let moved_sq = if scratch.counts[c] == 0 {
+            // Re-seed an empty cluster at the point farthest from its
+            // centre to avoid dead centroids.
+            let far = farthest_point(points, centers, labels);
+            scratch.row.copy_from_slice(points.row(far));
+            let moved = sq_dist(centers.row(c), &scratch.row);
+            centers.row_mut(c).copy_from_slice(&scratch.row);
+            moved
+        } else {
+            let inv = 1.0 / scratch.counts[c] as f64;
+            for (d, nc) in scratch.new_center.iter_mut().enumerate() {
+                *nc = scratch.sums.get(c, d) * inv;
+            }
+            let moved = sq_dist(centers.row(c), &scratch.new_center);
+            centers.row_mut(c).copy_from_slice(&scratch.new_center);
+            moved
+        };
+        movement += moved_sq;
+        scratch.deltas[c] = moved_sq.sqrt();
+    }
+    movement
+}
+
+/// Textbook Lloyd iteration; returns the iteration count.
+fn run_lloyd(
+    points: &Matrix,
+    centers: &mut Matrix,
+    config: &KMeansConfig,
+    threads: usize,
+) -> usize {
+    let n = points.rows();
+    let k = centers.rows();
+    let mut labels = vec![0usize; n];
+    let mut scratch = UpdateScratch::new(k, points.cols());
+    let mut iterations = 0;
+    for it in 0..config.max_iter.max(1) {
+        iterations = it + 1;
+        // Assignment step: embarrassingly parallel and deterministic —
+        // each label depends only on its own point and the centres.
+        let centers_ref: &Matrix = centers;
+        parallel_over_rows(&mut labels, 1, n, threads, |start, _end, chunk| {
+            for (off, label) in chunk.iter_mut().enumerate() {
+                *label = nearest_center(points.row(start + off), centers_ref);
+            }
+        });
+        let movement = update_centers(points, &labels, centers, &mut scratch);
+        if movement.sqrt() <= config.tol {
+            break;
+        }
+    }
+    iterations
+}
+
+/// Per-point state of the Hamerly iteration.
+#[derive(Clone, Copy)]
+struct PointState {
+    /// Currently assigned centre.
+    label: usize,
+    /// Upper bound on the distance to the assigned centre.
+    upper: f64,
+    /// Lower bound on the distance to every *other* centre.
+    lower: f64,
+}
+
+/// Hamerly's pruned iteration; returns the iteration count.
+///
+/// Pruning uses **strict** inequalities throughout: `upper < bound`
+/// implies the assigned centre is the *unique strict* nearest, which is
+/// exactly what [`nearest_center`]'s first-strict-minimum rule would
+/// pick, so pruned points provably keep the Lloyd assignment. Any tie
+/// falls through to a full scan that replays Lloyd's loop order
+/// verbatim. Combined with the shared [`update_centers`], the whole run
+/// is bitwise-identical to [`run_lloyd`].
+fn run_hamerly(
+    points: &Matrix,
+    centers: &mut Matrix,
+    config: &KMeansConfig,
+    threads: usize,
+) -> usize {
+    let n = points.rows();
+    let k = centers.rows();
+    let dims = points.cols();
+    let mut states = vec![
+        PointState {
+            label: 0,
+            upper: 0.0,
+            lower: 0.0,
+        };
+        n
+    ];
+    let mut labels = vec![0usize; n];
+    let mut scratch = UpdateScratch::new(k, dims);
+    // Half the distance from each centre to its nearest other centre:
+    // upper < s_half[label] proves the assignment unchanged.
+    let mut s_half = vec![0.0f64; k];
+    let mut iterations = 0;
+    for it in 0..config.max_iter.max(1) {
+        iterations = it + 1;
+        let force_full = it == 0;
+        if !force_full {
+            for c in 0..k {
+                let mut best = f64::INFINITY;
+                for o in 0..k {
+                    if o != c {
+                        best = best.min(sq_dist(centers.row(c), centers.row(o)));
+                    }
+                }
+                s_half[c] = 0.5 * best.sqrt();
+            }
+        }
+        let centers_ref: &Matrix = centers;
+        let s_half_ref: &[f64] = &s_half;
+        parallel_over_rows(&mut states, 1, n, threads, |start, _end, chunk| {
+            for (off, st) in chunk.iter_mut().enumerate() {
+                let row = points.row(start + off);
+                if !force_full {
+                    let bound = s_half_ref[st.label].max(st.lower);
+                    if st.upper < bound {
+                        continue;
+                    }
+                    // Tighten the upper bound to the exact distance and
+                    // retest before paying for the full scan.
+                    st.upper = sq_dist(row, centers_ref.row(st.label)).sqrt();
+                    if st.upper < bound {
+                        continue;
+                    }
+                }
+                // Full scan, replaying nearest_center's loop order and
+                // strict-< first-minimum rule while also tracking the
+                // second-best distance for the lower bound.
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                let mut second_d = f64::INFINITY;
+                for c in 0..centers_ref.rows() {
+                    let d = sq_dist(row, centers_ref.row(c));
+                    if d < best_d {
+                        second_d = best_d;
+                        best_d = d;
+                        best = c;
+                    } else if d < second_d {
+                        second_d = d;
+                    }
+                }
+                st.label = best;
+                st.upper = best_d.sqrt();
+                st.lower = second_d.sqrt();
+            }
+        });
+        for (label, st) in labels.iter_mut().zip(&states) {
+            *label = st.label;
+        }
+        let movement = update_centers(points, &labels, centers, &mut scratch);
+        // Shift the bounds by how far the centres moved (triangle
+        // inequality): the assigned centre's own move loosens the upper
+        // bound, the largest *other* move tightens the lower bound.
+        let (mut max_delta, mut max_c, mut second_delta) = (0.0f64, usize::MAX, 0.0f64);
+        for (c, &d) in scratch.deltas.iter().enumerate() {
+            if d > max_delta {
+                second_delta = max_delta;
+                max_delta = d;
+                max_c = c;
+            } else if d > second_delta {
+                second_delta = d;
+            }
+        }
+        for st in states.iter_mut() {
+            st.upper += scratch.deltas[st.label];
+            st.lower -= if st.label == max_c {
+                second_delta
+            } else {
+                max_delta
+            };
+        }
+        if movement.sqrt() <= config.tol {
+            break;
+        }
+    }
+    iterations
 }
 
 fn nearest_center(point: &[f64], centers: &Matrix) -> usize {
@@ -237,21 +490,10 @@ fn plus_plus_seeds(points: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
     centers
 }
 
-#[inline]
-fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smfl_linalg::random::normal_matrix;
+    use smfl_linalg::random::{normal_matrix, uniform_matrix};
 
     /// Three well-separated blobs of 30 points each.
     fn blobs() -> (Matrix, Vec<usize>) {
@@ -313,6 +555,49 @@ mod tests {
         let b = kmeans(&pts, &KMeansConfig::new(3).with_seed(7)).unwrap();
         assert_eq!(a.labels, b.labels);
         assert!(a.centers.approx_eq(&b.centers, 0.0));
+    }
+
+    #[test]
+    fn hamerly_is_bitwise_identical_to_lloyd() {
+        let pts = uniform_matrix(400, 3, -5.0, 5.0, 42);
+        for k in [1usize, 2, 7, 16] {
+            for seed in [0u64, 9, 77] {
+                let lloyd = kmeans(
+                    &pts,
+                    &KMeansConfig::new(k)
+                        .with_seed(seed)
+                        .with_algorithm(KMeansAlgorithm::Lloyd),
+                )
+                .unwrap();
+                let hamerly = kmeans(
+                    &pts,
+                    &KMeansConfig::new(k)
+                        .with_seed(seed)
+                        .with_algorithm(KMeansAlgorithm::Hamerly),
+                )
+                .unwrap();
+                assert_eq!(lloyd.labels, hamerly.labels, "k={k} seed={seed}");
+                assert_eq!(lloyd.iterations, hamerly.iterations, "k={k} seed={seed}");
+                assert!(
+                    lloyd.centers.approx_eq(&hamerly.centers, 0.0),
+                    "k={k} seed={seed}"
+                );
+                assert_eq!(lloyd.inertia, hamerly.inertia, "k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let pts = uniform_matrix(300, 2, 0.0, 1.0, 6);
+        let serial = kmeans(&pts, &KMeansConfig::new(5).with_seed(4).with_threads(1)).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par =
+                kmeans(&pts, &KMeansConfig::new(5).with_seed(4).with_threads(threads)).unwrap();
+            assert_eq!(par.labels, serial.labels);
+            assert!(par.centers.approx_eq(&serial.centers, 0.0));
+            assert_eq!(par.iterations, serial.iterations);
+        }
     }
 
     #[test]

@@ -5,12 +5,17 @@
 //!
 //! - [`kdtree`] — k-nearest-neighbour search (kd-tree + brute-force
 //!   oracle) used for the similarity matrix `D` and by several baselines
-//!   (kNN, kNNE, LOESS, IIM, DLM).
-//! - [`kmeans`] — Lloyd's algorithm with k-means++ seeding; its cluster
-//!   centres are the paper's *landmarks* `C` (§III-A).
-//! - [`graph`] — the `(D, W, L)` triple of paper §II-C in sparse form,
-//!   plus the missing-SI column-mean initialization rule.
-//! - [`metric`] — Euclidean / haversine distances.
+//!   (kNN, kNNE, LOESS, IIM, DLM). Construction and bulk queries run in
+//!   parallel with thread-count-invariant results.
+//! - [`kmeans`] — Lloyd / Hamerly k-means with k-means++ seeding; its
+//!   cluster centres are the paper's *landmarks* `C` (§III-A). The
+//!   Hamerly engine (default) prunes assignment work via triangle
+//!   inequalities while staying bitwise-identical to Lloyd.
+//! - [`graph`] — the `(D, W, L)` triple of paper §II-C in sparse form
+//!   (assembled hash-free, straight into CSR), plus the missing-SI
+//!   column-mean initialization rule.
+//! - [`metric`] — Euclidean / haversine distances, including the single
+//!   shared [`metric::sq_dist`] kernel.
 //!
 //! ## Example: landmarks + Laplacian in five lines
 //!
@@ -35,5 +40,5 @@ pub mod metric;
 
 pub use graph::{fill_missing_si, GraphWeighting, NeighborSearch, SpatialGraph};
 pub use kdtree::KdTree;
-pub use kmeans::{kmeans, KMeansConfig, KMeansInit, KMeansResult};
+pub use kmeans::{kmeans, KMeansAlgorithm, KMeansConfig, KMeansInit, KMeansResult};
 pub use metric::Metric;

@@ -31,8 +31,8 @@ impl Metric {
     pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
         match self {
-            Metric::Euclidean => sq_euclid(a, b).sqrt(),
-            Metric::SquaredEuclidean => sq_euclid(a, b),
+            Metric::Euclidean => sq_dist(a, b).sqrt(),
+            Metric::SquaredEuclidean => sq_dist(a, b),
             Metric::Haversine => {
                 debug_assert_eq!(a.len(), 2, "haversine expects [lat, lon]");
                 haversine_km(a[0], a[1], b[0], b[1])
@@ -44,21 +44,20 @@ impl Metric {
     /// avoids the square root for the Euclidean family.
     pub fn ranking_key(&self, a: &[f64], b: &[f64]) -> f64 {
         match self {
-            Metric::Euclidean | Metric::SquaredEuclidean => sq_euclid(a, b),
+            Metric::Euclidean | Metric::SquaredEuclidean => sq_dist(a, b),
             Metric::Haversine => haversine_km(a[0], a[1], b[0], b[1]),
         }
     }
 }
 
+/// Squared Euclidean distance between two equally long coordinate
+/// slices — the single distance kernel shared by the kd-tree, the
+/// brute-force kNN oracle and k-means (previously three private copies).
+/// Delegates to [`smfl_linalg::ops::sq_dist`], so the whole workspace
+/// agrees bitwise on the summation order.
 #[inline]
-fn sq_euclid(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    smfl_linalg::ops::sq_dist(a, b)
 }
 
 /// Great-circle distance between two `(lat, lon)` points in degrees.

@@ -1,14 +1,15 @@
-//! Property-based tests for the spatial substrate: the kd-tree must be
-//! indistinguishable from the brute-force oracle, k-means must satisfy
-//! Lloyd's invariants, and the similarity graph must match the paper's
-//! Formula 3/4 definitions.
+//! Property-based tests for the spatial substrate: the kd-tree (serial,
+//! parallel and bulk paths alike) must be indistinguishable from the
+//! brute-force oracle, Hamerly's pruned k-means must be exactly Lloyd,
+//! and the similarity graph must match the paper's Formula 3/4
+//! definitions for every backend and thread count.
 
 use proptest::prelude::*;
 use smfl_linalg::random::uniform_matrix;
 use smfl_linalg::Matrix;
 use smfl_spatial::graph::{NeighborSearch, SpatialGraph};
 use smfl_spatial::kdtree::{brute_force_nearest, KdTree};
-use smfl_spatial::kmeans::{kmeans, KMeansConfig};
+use smfl_spatial::kmeans::{kmeans, KMeansAlgorithm, KMeansConfig};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -111,6 +112,71 @@ proptest! {
                 prop_assert_eq!(actual, expected, "edge ({}, {})", i, j);
             }
         }
+    }
+
+    #[test]
+    fn bulk_knn_matches_serial_oracle_across_thread_counts(
+        n in 5usize..80,
+        dims in 2usize..4,
+        p in 1usize..7,
+        seed in 0u64..5000,
+        threads in 1usize..5,
+    ) {
+        let pts = uniform_matrix(n, dims, 0.0, 1.0, seed);
+        let tree = KdTree::build_with_threads(&pts, threads);
+        let kk = tree.bulk_k(p, true);
+        let flat = tree.nearest_bulk_with_threads(&pts, p, true, threads);
+        prop_assert_eq!(flat.len(), n * kk);
+        for q in 0..n {
+            let oracle = brute_force_nearest(&pts, pts.row(q), kk, q);
+            // Bitwise: same indices, same squared distances.
+            prop_assert_eq!(&flat[q * kk..(q + 1) * kk], &oracle[..], "query {}", q);
+        }
+    }
+
+    #[test]
+    fn hamerly_equals_lloyd_exactly(
+        n in 8usize..120,
+        dims in 1usize..4,
+        k in 1usize..9,
+        seed in 0u64..5000,
+    ) {
+        let pts = uniform_matrix(n, dims, -3.0, 3.0, seed);
+        let lloyd = kmeans(
+            &pts,
+            &KMeansConfig::new(k).with_seed(seed).with_algorithm(KMeansAlgorithm::Lloyd),
+        ).unwrap();
+        let hamerly = kmeans(
+            &pts,
+            &KMeansConfig::new(k).with_seed(seed).with_algorithm(KMeansAlgorithm::Hamerly),
+        ).unwrap();
+        prop_assert_eq!(&lloyd.labels, &hamerly.labels);
+        prop_assert_eq!(lloyd.iterations, hamerly.iterations);
+        prop_assert!(lloyd.centers.approx_eq(&hamerly.centers, 0.0),
+            "centres differ beyond bitwise identity");
+        for c in 0..lloyd.centers.rows() {
+            for d in 0..lloyd.centers.cols() {
+                prop_assert!(
+                    (lloyd.centers.get(c, d) - hamerly.centers.get(c, d)).abs() <= 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_invariant_to_backend_and_threads(
+        n in 4usize..60,
+        p in 1usize..5,
+        seed in 0u64..5000,
+        threads in 1usize..5,
+    ) {
+        let pts = uniform_matrix(n, 2, 0.0, 1.0, seed);
+        let oracle = SpatialGraph::build(&pts, p, NeighborSearch::BruteForce).unwrap();
+        let par =
+            SpatialGraph::build_with_threads(&pts, p, NeighborSearch::KdTree, threads).unwrap();
+        prop_assert_eq!(&par.similarity, &oracle.similarity);
+        prop_assert_eq!(&par.degree, &oracle.degree);
+        prop_assert_eq!(&par.laplacian, &oracle.laplacian);
     }
 
     #[test]
