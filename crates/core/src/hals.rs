@@ -31,8 +31,8 @@ use crate::updater::UpdateContext;
 use smfl_linalg::kernels::Workspace;
 use smfl_linalg::{Matrix, Result};
 
-/// Denominator guard.
-const EPS: f64 = 1e-12;
+// Denominator guard — the single workspace-wide constant.
+use crate::health::DENOM_EPS as EPS;
 
 /// One full HALS sweep (all K columns of `U`, then all live entries of
 /// `V`). Returns the fit term `‖R_Ω(X − UV)‖_F²` for the updated

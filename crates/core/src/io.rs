@@ -114,6 +114,9 @@ pub fn from_str(text: &str) -> io::Result<FittedModel> {
         iterations,
         converged,
         spatial_cols,
+        // The fault-tolerance audit trail is runtime-only; the v1 format
+        // intentionally does not persist it.
+        report: crate::health::FitReport::default(),
     })
 }
 

@@ -43,6 +43,7 @@
 
 pub mod config;
 pub mod hals;
+pub mod health;
 pub mod io;
 pub mod landmarks;
 pub mod model;
@@ -50,8 +51,9 @@ pub mod model_selection;
 pub mod objective;
 pub mod updater;
 
-pub use config::{SmflConfig, Updater, Variant};
+pub use config::{Resilience, SmflConfig, Updater, Variant};
+pub use health::{FitEvent, FitFailure, FitReport, DENOM_EPS};
 pub use landmarks::Landmarks;
-pub use model::{fit, fit_with_landmarks, impute, repair, FittedModel};
+pub use model::{fit, fit_resilient, fit_with_landmarks, impute, repair, FittedModel};
 pub use model_selection::{fit_with_selection, grid_search, GridSearchResult, ParamGrid};
 pub use objective::objective;

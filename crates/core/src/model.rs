@@ -7,12 +7,13 @@
 //! with `Ψ` = the set of dirty cells (paper §II-D).
 
 use crate::config::{SmflConfig, Updater};
+use crate::health::{classify, FitEvent, FitFailure, FitReport, HealthPolicy};
 use crate::landmarks::Landmarks;
 use crate::objective::objective_from_fit_term;
 use crate::updater::{gradient_step, multiplicative_step, UpdateContext};
 use smfl_linalg::random::positive_uniform_matrix;
 use smfl_linalg::{LinalgError, Mask, Matrix, ObservedPattern, Result, Workspace};
-use smfl_spatial::{fill_missing_si, SpatialGraph};
+use smfl_spatial::{dedupe_coordinates, fill_missing_si, SpatialGraph};
 
 /// A fitted factorization `X ≈ U·V`.
 #[derive(Debug, Clone)]
@@ -33,6 +34,9 @@ pub struct FittedModel {
     pub converged: bool,
     /// Number of spatial columns `L` the model was fitted with.
     pub spatial_cols: usize,
+    /// Fault-tolerance audit trail (empty/default unless the fit ran
+    /// with `config.resilience.enabled`). See [`FitReport`].
+    pub report: FitReport,
 }
 
 impl FittedModel {
@@ -114,12 +118,177 @@ pub fn fit_with_landmarks(
     fit_inner(x, omega, config, Some(landmarks))
 }
 
+/// [`fit`] with the fault-tolerance machinery enabled: input
+/// sanitization, per-iteration health checks, checkpoint/rollback with
+/// bounded deterministic restarts, and the degradation ladder
+/// SMFL → (drop Laplacian) → (drop landmarks). Every recovery step is
+/// recorded in the returned model's [`FitReport`].
+pub fn fit_resilient(x: &Matrix, omega: &Mask, config: &SmflConfig) -> Result<FittedModel> {
+    let mut cfg = config.clone();
+    cfg.resilience.enabled = true;
+    fit(x, omega, &cfg)
+}
+
+/// Deterministic seed derivation for retries — `salt = 0` returns the
+/// base seed unchanged so the clean path is bitwise-stable.
+fn derive_seed(seed: u64, salt: u64) -> u64 {
+    seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Masks out observed cells the optimizers cannot digest: non-finite
+/// values always, negative values under a multiplicative updater.
+/// Returns `None` when the input is already clean (no clone made) or
+/// when the shapes mismatch (validation reports that instead).
+fn sanitize_inputs(
+    x: &Matrix,
+    omega: &Mask,
+    multiplicative: bool,
+) -> Option<(Matrix, Mask, usize)> {
+    if x.shape() != omega.shape() {
+        return None;
+    }
+    let mut cleaned: Option<(Matrix, Mask)> = None;
+    let mut removed = 0usize;
+    for (i, j) in omega.iter_set() {
+        let v = x.get(i, j);
+        if !v.is_finite() || (multiplicative && v < 0.0) {
+            let (cx, co) = cleaned.get_or_insert_with(|| (x.clone(), omega.clone()));
+            co.set(i, j, false);
+            cx.set(i, j, 0.0);
+            removed += 1;
+        }
+    }
+    cleaned.map(|(cx, co)| (cx, co, removed))
+}
+
+/// `true` when the landmark matrix is usable: all-finite with pairwise
+/// distinct rows (duplicate centres make the frozen columns of `V`
+/// linearly dependent — the "degenerate landmarks" failure).
+fn landmarks_healthy(lm: &Landmarks) -> bool {
+    if !lm.centers.all_finite() {
+        return false;
+    }
+    let (k, l) = lm.centers.shape();
+    for a in 0..k {
+        for b in a + 1..k {
+            if (0..l).all(|j| lm.centers.get(a, j) == lm.centers.get(b, j)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Landmark generation with the bounded deterministic retry policy:
+/// attempt 0 is bitwise-identical to the non-resilient path; on a
+/// degenerate result the coordinates are de-duplicated (jitter-free)
+/// and k-means re-seeded, up to `max_restarts` times; then landmarks
+/// are dropped (the last rung of the ladder before plain NMF).
+fn landmarks_resilient(
+    si: &Matrix,
+    k: usize,
+    config: &SmflConfig,
+    report: &mut FitReport,
+) -> Option<Landmarks> {
+    let max_attempts = config.resilience.max_restarts;
+    let mut si_work: Option<Matrix> = None;
+    for attempt in 0..=max_attempts {
+        let src = si_work.as_ref().unwrap_or(si);
+        let seed = derive_seed(config.seed, attempt as u64);
+        if let Ok(lm) = Landmarks::compute(src, k, config.kmeans_max_iter, seed) {
+            if landmarks_healthy(&lm) {
+                return Some(lm);
+            }
+        }
+        if attempt == max_attempts {
+            break;
+        }
+        if si_work.is_none() {
+            let mut copy = si.clone();
+            let rows = dedupe_coordinates(&mut copy);
+            if rows > 0 {
+                report.deduped_rows = rows;
+                report.events.push(FitEvent::CoordinatesDeduped { rows });
+            }
+            si_work = Some(copy);
+        }
+        report.events.push(FitEvent::LandmarksRetried {
+            attempt: attempt + 1,
+        });
+    }
+    report.events.push(FitEvent::LandmarksDropped {
+        reason: "degenerate after bounded retries",
+    });
+    None
+}
+
+/// Graph construction with the degradation checks of the ladder's first
+/// rung: a failed build, non-finite edge weights, an edgeless graph or
+/// a disconnected one all drop the Laplacian term (recorded), leaving
+/// landmarks intact.
+fn graph_resilient(
+    si: &Matrix,
+    n: usize,
+    config: &SmflConfig,
+    report: &mut FitReport,
+) -> Option<SpatialGraph> {
+    let reason = match SpatialGraph::build_weighted(
+        si,
+        config.p_neighbors,
+        config.search,
+        config.weighting,
+    ) {
+        Err(_) => "graph construction failed",
+        Ok(g) => {
+            if !g.all_finite() {
+                "non-finite edge weights"
+            } else if n > 1 && g.similarity.nnz() == 0 {
+                "edgeless graph"
+            } else if !g.is_connected() {
+                "disconnected graph"
+            } else {
+                return Some(g);
+            }
+        }
+    };
+    report.events.push(FitEvent::LaplacianDropped { reason });
+    None
+}
+
+/// `dst = (dst + fresh) / 2` elementwise — the deterministic restart
+/// perturbation for the multiplicative/HALS optimizers (both operands
+/// positive, so feasibility is preserved).
+fn blend_half(dst: &mut Matrix, fresh: &Matrix) {
+    for (a, &b) in dst.as_mut_slice().iter_mut().zip(fresh.as_slice()) {
+        *a = 0.5 * (*a + b);
+    }
+}
+
 fn fit_inner(
     x: &Matrix,
     omega: &Mask,
     config: &SmflConfig,
     landmarks_override: Option<Landmarks>,
 ) -> Result<FittedModel> {
+    let res = config.resilience;
+    let mut report = FitReport::default();
+
+    // (4) Input sanitization — resilient mode only; the default path
+    // rejects unusable cells in `validate` instead.
+    let sanitized = if res.enabled && res.sanitize {
+        sanitize_inputs(x, omega, matches!(config.updater, Updater::Multiplicative))
+    } else {
+        None
+    };
+    let (x, omega) = match &sanitized {
+        Some((cx, co, removed)) => {
+            report.sanitized_cells = *removed;
+            report.events.push(FitEvent::Sanitized { cells: *removed });
+            (cx, co)
+        }
+        None => (x, omega),
+    };
+
     validate(x, omega, config)?;
     let (n, m) = x.shape();
     let k = config.rank;
@@ -136,14 +305,23 @@ fn fit_inner(
         None
     };
 
-    // Algorithm 1 lines 2-3: similarity graph on (possibly mean-filled) SI.
+    // Algorithm 1 lines 2-3: similarity graph on (possibly mean-filled)
+    // SI. In resilient mode a degenerate graph drops the Laplacian term
+    // (first rung of the degradation ladder) instead of failing.
     let graph = if needs_graph {
-        Some(SpatialGraph::build_weighted(
-            si.as_ref().expect("si computed when needs_graph"),
-            config.p_neighbors,
-            config.search,
-            config.weighting,
-        )?)
+        let si = si.as_ref().ok_or(LinalgError::Internal {
+            invariant: "SI computed when the graph needs it",
+        })?;
+        if res.enabled {
+            graph_resilient(si, n, config, &mut report)
+        } else {
+            Some(SpatialGraph::build_weighted(
+                si,
+                config.p_neighbors,
+                config.search,
+                config.weighting,
+            )?)
+        }
     } else {
         None
     };
@@ -157,23 +335,34 @@ fn fit_inner(
 
     // Algorithm 1 lines 4-6: landmarks (explicit override wins; else
     // compute from k-means on the mean-filled SI for the SMFL variant).
+    // In resilient mode degenerate landmarks are retried with deduped
+    // coordinates and re-derived seeds, then dropped (second rung).
     let landmarks = match landmarks_override {
         Some(lm) => {
             lm.inject(&mut v)?;
             Some(lm)
         }
         None if config.variant.uses_landmarks() => {
-            let si = si.as_ref().expect("si computed when landmarks need it");
-            let lm = Landmarks::compute(si, k, config.kmeans_max_iter, config.seed)?;
-            lm.inject(&mut v)?;
-            Some(lm)
+            let si = si.as_ref().ok_or(LinalgError::Internal {
+                invariant: "SI computed when landmarks need it",
+            })?;
+            let lm = if res.enabled {
+                landmarks_resilient(si, k, config, &mut report)
+            } else {
+                Some(Landmarks::compute(si, k, config.kmeans_max_iter, config.seed)?)
+            };
+            if let Some(lm) = &lm {
+                lm.inject(&mut v)?;
+            }
+            lm
         }
         None => None,
     };
 
     // Compile Ω + X into the fused iteration engine's sparse pattern and
     // allocate the per-fit scratch once; the update loop below performs
-    // no further heap allocation.
+    // no further heap allocation (checkpoint buffers included — they are
+    // allocated on first use and reused by memcpy thereafter).
     let masked_x = omega.apply(x)?;
     let pattern = ObservedPattern::compile(x, omega)?;
     let mut ws = Workspace::new(&pattern, k);
@@ -185,35 +374,156 @@ fn fit_inner(
         lambda: config.lambda,
         landmarks: landmarks.as_ref(),
     };
+    let policy = HealthPolicy {
+        divergence_tol: res.divergence_tol,
+        stall_patience: res.stall_patience,
+    };
+    let v_start = landmarks.as_ref().map_or(0, Landmarks::spatial_cols);
 
-    // Algorithm 1 lines 7-9: iterate until convergence or t₁.
+    // Algorithm 1 lines 7-9: iterate until convergence or t₁. The
+    // resilient engine additionally runs the health sentinel each
+    // iteration, checkpoints every new best iterate, and restarts from
+    // the checkpoint (bounded, deterministically perturbed) on failure.
     let mut history = Vec::with_capacity(config.max_iter.min(1024));
     let mut converged = false;
     let mut iterations = 0;
+    let mut best_obj = f64::INFINITY;
+    let mut prev_accepted: Option<f64> = None;
+    let mut since_best = 0usize;
+    let mut restarts = 0usize;
+    let mut lr_scale = 1.0f64;
     for t in 0..config.max_iter {
         let fit_t = match config.updater {
             Updater::Multiplicative => multiplicative_step(&ctx, &mut ws, &mut u, &mut v)?,
             Updater::GradientDescent { learning_rate } => {
-                gradient_step(&ctx, &mut ws, &mut u, &mut v, learning_rate)?
+                gradient_step(&ctx, &mut ws, &mut u, &mut v, learning_rate * lr_scale)?
             }
             Updater::Hals => crate::hals::hals_step(&ctx, &mut ws, &mut u, &mut v)?,
         };
         let obj = objective_from_fit_term(fit_t, &u, config.lambda, graph.as_ref())?;
-        if !obj.is_finite() {
-            return Err(LinalgError::NoConvergence {
-                routine: "smfl_fit",
-                iterations: t,
+
+        if !res.enabled {
+            // Legacy fail-fast path, kept bitwise identical.
+            if !obj.is_finite() {
+                return Err(LinalgError::NoConvergence {
+                    routine: "smfl_fit",
+                    iterations: t,
+                });
+            }
+        } else if let Some(failure) = classify(obj, prev_accepted, &u, &v, since_best, &policy) {
+            if failure == FitFailure::Stalled || restarts >= res.max_restarts {
+                report.failure = Some(failure);
+                break;
+            }
+            restarts += 1;
+            report.restarts = restarts;
+            report.events.push(FitEvent::Restarted {
+                iteration: t,
+                failure,
             });
+            if matches!(config.updater, Updater::GradientDescent { .. }) {
+                lr_scale *= 0.5;
+            }
+            if ws.restore(&mut u, &mut v) {
+                if !matches!(config.updater, Updater::GradientDescent { .. }) {
+                    // Re-running the same rules from the same point would
+                    // reproduce the failure; blend in a fresh positive
+                    // init (seeded, no wall-clock) to shift the iterate.
+                    let s = derive_seed(config.seed, 100 + restarts as u64);
+                    blend_half(&mut u, &positive_uniform_matrix(n, k, s).scale(1.0 / k as f64));
+                    blend_half(&mut v, &positive_uniform_matrix(k, m, s.wrapping_add(1)));
+                    if let Some(lm) = &landmarks {
+                        lm.inject(&mut v)?;
+                    }
+                    ws.invalidate();
+                }
+            } else {
+                // Failure before any accepted iterate: fresh re-init.
+                let s = derive_seed(config.seed, 200 + restarts as u64);
+                u = positive_uniform_matrix(n, k, s).scale(1.0 / k as f64);
+                v = positive_uniform_matrix(k, m, s.wrapping_add(1));
+                if let Some(lm) = &landmarks {
+                    lm.inject(&mut v)?;
+                }
+                ws.invalidate();
+            }
+            prev_accepted = None;
+            since_best = 0;
+            continue;
         }
-        let improved_enough = history
-            .last()
-            .is_some_and(|&prev: &f64| (prev - obj).abs() <= config.tol * prev.abs().max(1.0));
+
+        // Factors must stay in the feasible region whenever they are
+        // finite (frozen landmark coordinates may legitimately be
+        // negative, so only live columns of V are checked).
+        debug_assert!(
+            !u.all_finite() || u.is_nonnegative(0.0),
+            "U left the nonnegative orthant at iteration {t}"
+        );
+        #[cfg(debug_assertions)]
+        if v.all_finite() {
+            for kk in 0..v.rows() {
+                for j in v_start..v.cols() {
+                    debug_assert!(
+                        v.get(kk, j) >= 0.0,
+                        "V went negative at ({kk}, {j}), iteration {t}"
+                    );
+                }
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = v_start;
+
+        if res.enabled {
+            if obj < best_obj {
+                best_obj = obj;
+                since_best = 0;
+                ws.checkpoint(&u, &v);
+            } else {
+                since_best += 1;
+            }
+        }
+        let improved_enough = prev_accepted
+            .is_some_and(|prev| (prev - obj).abs() <= config.tol * prev.abs().max(1.0));
+        prev_accepted = Some(obj);
         history.push(obj);
         iterations = t + 1;
         if improved_enough {
             converged = true;
             break;
         }
+    }
+
+    // Rollback: a resilient fit always returns its best recorded
+    // iterate. The checkpoint holds exactly the factors of
+    // `min(history)`, so restoring makes the returned model's objective
+    // equal the best the trace ever saw.
+    if res.enabled {
+        let final_obj = history.last().copied().unwrap_or(f64::INFINITY);
+        let factors_bad = !u.all_finite() || !v.all_finite();
+        if ws.has_checkpoint() && (report.failure.is_some() || factors_bad || final_obj > best_obj)
+        {
+            if ws.restore(&mut u, &mut v) {
+                report.rolled_back = true;
+                report.events.push(FitEvent::RolledBack {
+                    iteration: iterations,
+                });
+            }
+        } else if factors_bad {
+            // No good iterate was ever recorded: return a finite,
+            // deterministic initialization with the failure on record
+            // rather than NaN factors.
+            let s = derive_seed(config.seed, 300);
+            u = positive_uniform_matrix(n, k, s).scale(1.0 / k as f64);
+            v = positive_uniform_matrix(k, m, s.wrapping_add(1));
+            if let Some(lm) = &landmarks {
+                lm.inject(&mut v)?;
+            }
+            report.rolled_back = true;
+            report.events.push(FitEvent::RolledBack {
+                iteration: iterations,
+            });
+        }
+        report.record_tail(&history);
     }
 
     Ok(FittedModel {
@@ -224,6 +534,7 @@ fn fit_inner(
         iterations,
         converged,
         spatial_cols: l,
+        report,
     })
 }
 
@@ -267,14 +578,25 @@ fn validate(x: &Matrix, omega: &Mask, config: &SmflConfig) -> Result<()> {
             shape: (n, m),
         });
     }
-    if matches!(config.updater, Updater::Multiplicative) {
-        for (i, j) in omega.iter_set() {
-            if x.get(i, j) < 0.0 {
-                return Err(LinalgError::BadLength {
-                    expected: 0,
-                    actual: i * m + j,
-                });
-            }
+    // One pass over the observed cells: non-finite values are never
+    // usable (they poison every inner product); negative values break
+    // the multiplicative rules' nonnegativity invariant. In resilient
+    // mode with sanitization these cells were masked out before
+    // validation, so this check only fires on the fail-fast path.
+    let multiplicative = matches!(config.updater, Updater::Multiplicative);
+    for (i, j) in omega.iter_set() {
+        let v = x.get(i, j);
+        if !v.is_finite() {
+            return Err(LinalgError::NonFinite {
+                op: "fit",
+                index: (i, j),
+            });
+        }
+        if multiplicative && v < 0.0 {
+            return Err(LinalgError::BadLength {
+                expected: 0,
+                actual: i * m + j,
+            });
         }
     }
     Ok(())
@@ -485,8 +807,204 @@ mod tests {
             iterations: 0,
             converged: false,
             spatial_cols: 0,
+            report: FitReport::default(),
         };
         assert_eq!(model.cluster_labels(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_observed_cells() {
+        let mut x = spatial_data(12, 5, 40);
+        x.set(4, 3, f64::NAN);
+        let omega = Mask::full(12, 5);
+        let err = fit(&x, &omega, &SmflConfig::nmf(2)).unwrap_err();
+        assert!(matches!(err, LinalgError::NonFinite { index: (4, 3), .. }));
+        // Unobserved non-finite cells are harmless.
+        let mut omega2 = Mask::full(12, 5);
+        omega2.set(4, 3, false);
+        assert!(fit(&x, &omega2, &SmflConfig::nmf(2).with_max_iter(5)).is_ok());
+    }
+
+    #[test]
+    fn resilient_matches_default_on_clean_data() {
+        let x = spatial_data(30, 6, 41);
+        let omega = drop_cells(30, 6, 4);
+        // p = 8 keeps the kNN graph connected on this data, so no rung
+        // of the degradation ladder fires and both paths see the same
+        // model.
+        let cfg = SmflConfig::smfl(3, 2).with_p(8).with_max_iter(40).with_seed(5);
+        let plain = fit(&x, &omega, &cfg).unwrap();
+        let resilient = fit_resilient(&x, &omega, &cfg).unwrap();
+        assert!(plain.u.approx_eq(&resilient.u, 1e-9));
+        assert!(plain.v.approx_eq(&resilient.v, 1e-9));
+        assert_eq!(resilient.report.restarts, 0);
+        assert!(resilient.report.failure.is_none());
+        assert!(resilient.report.events.is_empty(), "{:?}", resilient.report.events);
+        assert!(!resilient.report.trace_tail.is_empty());
+        // The default path carries an empty report.
+        assert_eq!(plain.report, crate::health::FitReport::default());
+    }
+
+    #[test]
+    fn resilient_gd_restarts_and_returns_best_iterate() {
+        // A learning rate this large makes projected GD diverge; the
+        // resilient engine must restart (halving the rate) and hand back
+        // the best recorded iterate rather than garbage.
+        let x = spatial_data(25, 5, 42);
+        let omega = drop_cells(25, 5, 3);
+        let cfg = SmflConfig::nmf(3)
+            .with_gradient_descent(5.0)
+            .with_max_iter(60)
+            .resilient();
+        let model = fit(&x, &omega, &cfg).unwrap();
+        assert!(model.u.all_finite() && model.v.all_finite());
+        assert!(model.report.restarts >= 1, "{:?}", model.report);
+        assert!(model
+            .report
+            .events
+            .iter()
+            .any(|e| matches!(e, FitEvent::Restarted { .. })));
+        // Returned factors evaluate to the best objective ever recorded.
+        let best = model
+            .objective_history
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let returned =
+            crate::objective::objective(&x, &omega, &model.u, &model.v, 0.0, None).unwrap();
+        assert!(
+            (returned - best).abs() <= 1e-8 * best.abs().max(1.0),
+            "returned {returned} vs best recorded {best}"
+        );
+    }
+
+    #[test]
+    fn resilient_sanitizes_non_finite_cells() {
+        let mut x = spatial_data(25, 5, 43);
+        x.set(2, 3, f64::NAN);
+        x.set(7, 4, f64::INFINITY);
+        x.set(11, 2, -4.0); // negative under multiplicative: also masked
+        let omega = Mask::full(25, 5);
+        // Fail-fast path rejects...
+        assert!(fit(&x, &omega, &SmflConfig::smfl(3, 2)).is_err());
+        // ...the resilient path repairs and fits.
+        let model =
+            fit_resilient(&x, &omega, &SmflConfig::smfl(3, 2).with_max_iter(30)).unwrap();
+        assert!(model.u.all_finite() && model.v.all_finite());
+        assert_eq!(model.report.sanitized_cells, 3);
+        assert!(model
+            .report
+            .events
+            .iter()
+            .any(|e| matches!(e, FitEvent::Sanitized { cells: 3 })));
+        assert!(model.report.failure.is_none());
+    }
+
+    #[test]
+    fn resilient_stall_detection_stops_early() {
+        // All-zero data reaches its fixed point immediately; with a
+        // negative tol the legacy criterion never fires, so the stall
+        // detector is what ends the loop.
+        let x = Matrix::zeros(12, 4);
+        let omega = Mask::full(12, 4);
+        let cfg = SmflConfig::nmf(2)
+            .with_max_iter(200)
+            .with_tol(-1.0)
+            .with_resilience(crate::config::Resilience {
+                stall_patience: 4,
+                ..crate::config::Resilience::on()
+            });
+        let model = fit(&x, &omega, &cfg).unwrap();
+        assert_eq!(model.report.failure, Some(FitFailure::Stalled));
+        assert!(
+            model.iterations < 20,
+            "stall should stop early, ran {}",
+            model.iterations
+        );
+        assert!(model.u.all_finite() && model.v.all_finite());
+    }
+
+    #[test]
+    fn resilient_drops_laplacian_on_disconnected_graph() {
+        // Two clusters far apart with p = 1: the kNN graph splits into
+        // two components, so the resilient engine drops the spatial term
+        // and records it.
+        let n = 20;
+        let x = Matrix::from_fn(n, 5, |i, j| {
+            let base = if i < n / 2 { 0.0 } else { 1000.0 };
+            match j {
+                0 => base + (i % 10) as f64 * 0.01,
+                1 => base,
+                _ => 0.3 + 0.01 * (i as f64) / n as f64,
+            }
+        });
+        let omega = Mask::full(n, 5);
+        let cfg = SmflConfig::smf(3, 2).with_p(1).with_max_iter(20);
+        // Default path fits happily (a disconnected Laplacian is still
+        // PSD) — no behavior change there.
+        assert!(fit(&x, &omega, &cfg).is_ok());
+        let model = fit_resilient(&x, &omega, &cfg).unwrap();
+        assert!(model.report.degraded());
+        assert!(model
+            .report
+            .events
+            .iter()
+            .any(|e| matches!(e, FitEvent::LaplacianDropped { reason: "disconnected graph" })));
+        assert!(model.u.all_finite() && model.v.all_finite());
+    }
+
+    #[test]
+    fn resilient_retries_landmarks_on_duplicate_coordinates() {
+        // Every coordinate identical: k-means centres collapse, which
+        // the resilient engine repairs by deterministic de-duplication
+        // plus a re-seeded retry — landmarks survive.
+        let n = 24;
+        let x = Matrix::from_fn(n, 5, |i, j| match j {
+            0 | 1 => 0.5,
+            _ => 0.2 + 0.02 * ((i * 7 + j) % 11) as f64,
+        });
+        let omega = Mask::full(n, 5);
+        let cfg = SmflConfig::smfl(3, 2).with_max_iter(15);
+        let model = fit_resilient(&x, &omega, &cfg).unwrap();
+        assert!(
+            model.landmarks.is_some(),
+            "landmarks should survive via retry: {:?}",
+            model.report.events
+        );
+        assert!(model
+            .report
+            .events
+            .iter()
+            .any(|e| matches!(e, FitEvent::CoordinatesDeduped { .. })));
+        assert!(model
+            .report
+            .events
+            .iter()
+            .any(|e| matches!(e, FitEvent::LandmarksRetried { .. })));
+        assert!(model.report.deduped_rows > 0);
+        // The surviving landmark rows are pairwise distinct.
+        let lm = &model.landmarks.as_ref().unwrap().centers;
+        for a in 0..lm.rows() {
+            for b in a + 1..lm.rows() {
+                assert!(
+                    (0..lm.cols()).any(|j| lm.get(a, j) != lm.get(b, j)),
+                    "duplicate landmark rows {a} and {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_report_is_deterministic() {
+        let mut x = spatial_data(25, 5, 44);
+        x.set(3, 2, f64::NAN);
+        let omega = drop_cells(25, 5, 3);
+        let cfg = SmflConfig::smfl(3, 2).with_max_iter(25).with_seed(11);
+        let a = fit_resilient(&x, &omega, &cfg).unwrap();
+        let b = fit_resilient(&x, &omega, &cfg).unwrap();
+        assert_eq!(a.report, b.report);
+        assert!(a.u.approx_eq(&b.u, 0.0));
+        assert!(a.v.approx_eq(&b.v, 0.0));
     }
 
     #[test]

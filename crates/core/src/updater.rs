@@ -38,8 +38,10 @@ use smfl_linalg::ops::{matmul_at_into, matmul_bt_into, matmul_into};
 use smfl_linalg::{Mask, Matrix, Result};
 use smfl_spatial::SpatialGraph;
 
-/// Denominator guard for the multiplicative rules.
-pub const EPS: f64 = 1e-12;
+/// Denominator guard for the multiplicative rules — a re-export of the
+/// workspace-wide [`crate::health::DENOM_EPS`], kept under its historic
+/// name for existing callers.
+pub use crate::health::DENOM_EPS as EPS;
 
 /// Immutable per-fit quantities shared by every iteration.
 pub struct UpdateContext<'a> {

@@ -50,6 +50,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
+use smfl_core::health::{classify, HealthPolicy};
 use smfl_core::updater::{multiplicative_step, UpdateContext};
 use smfl_linalg::random::{positive_uniform_matrix, uniform_matrix};
 use smfl_linalg::{Mask, ObservedPattern, Workspace};
@@ -100,10 +101,12 @@ fn multiplicative_step_allocates_nothing_after_warmup() {
     let mut u = positive_uniform_matrix(n, k, 9);
     let mut v = positive_uniform_matrix(k, m, 10);
 
-    // Warmup: first iterations may lazily create buffers.
+    // Warmup: first iterations may lazily create buffers — including the
+    // checkpoint double-buffer, which allocates once on first use.
     for _ in 0..3 {
         multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
     }
+    ws.checkpoint(&u, &v);
 
     let ptrs_before = (
         ws.uv_vals.as_ptr(),
@@ -114,17 +117,26 @@ fn multiplicative_step_allocates_nothing_after_warmup() {
         ws.denom_vt.as_slice().as_ptr(),
     );
 
+    // Steady state mirrors the resilient fit loop: update, health scan,
+    // checkpoint. All three must be allocation-free.
+    let policy = HealthPolicy { divergence_tol: 1e-6, stall_patience: 0 };
+    let mut prev = None;
     COUNTING.store(true, Ordering::SeqCst);
     for _ in 0..10 {
-        multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
+        let fit = multiplicative_step(&ctx, &mut ws, &mut u, &mut v).unwrap();
+        assert!(classify(fit, prev, &u, &v, 0, &policy).is_none());
+        prev = Some(fit);
+        ws.checkpoint(&u, &v);
     }
     COUNTING.store(false, Ordering::SeqCst);
     let allocs = ALLOCS.load(Ordering::SeqCst);
 
     assert_eq!(
         allocs, 0,
-        "multiplicative_step heap-allocated {allocs} times across 10 steady-state iterations"
+        "update + health scan + checkpoint heap-allocated {allocs} times \
+         across 10 steady-state iterations"
     );
+    assert!(ws.has_checkpoint());
 
     let ptrs_after = (
         ws.uv_vals.as_ptr(),

@@ -114,6 +114,103 @@ pub fn inject_errors(
     }
 }
 
+// ---------------------------------------------------------------------
+// Fault injectors (adversarial-robustness suite; DESIGN.md §10).
+//
+// Unlike the statistical corruption protocols above, these model the
+// *hostile* inputs the fault-tolerant fit engine must survive: bursts
+// of NaN, ±Inf spikes, zero-variance columns and exactly duplicated
+// spatial coordinates. All are deterministic given the seed and return
+// the touched cells/rows so tests can assert the damage precisely.
+// ---------------------------------------------------------------------
+
+/// Overwrites `count` distinct cells with NaN. Returns the cells hit,
+/// sorted row-major.
+pub fn inject_nan_burst(data: &mut Matrix, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    overwrite_cells(data, count, seed, |_| f64::NAN)
+}
+
+/// Overwrites `count` distinct cells with ±Inf (sign alternates by
+/// draw). Returns the cells hit, sorted row-major.
+pub fn inject_inf_spike(data: &mut Matrix, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut flip = false;
+    overwrite_cells(data, count, seed, move |_| {
+        flip = !flip;
+        if flip {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        }
+    })
+}
+
+/// Sets every cell of column `col` to `value` — a zero-variance column
+/// that starves normalization and makes rank-K structure degenerate.
+/// Returns the number of cells changed.
+pub fn inject_constant_column(data: &mut Matrix, col: usize, value: f64) -> usize {
+    let n = data.rows();
+    if col >= data.cols() {
+        return 0;
+    }
+    for i in 0..n {
+        data.set(i, col, value);
+    }
+    n
+}
+
+/// Copies the spatial coordinates (first `spatial_cols` columns) of a
+/// donor row over ~`rate` of the other rows, producing exact duplicate
+/// coordinates (the degenerate-landmark trigger). Returns the rows that
+/// became duplicates, sorted.
+pub fn inject_duplicate_si(
+    data: &mut Matrix,
+    spatial_cols: usize,
+    rate: f64,
+    seed: u64,
+) -> Vec<usize> {
+    let (n, m) = data.shape();
+    let l = spatial_cols.min(m);
+    if n < 2 || l == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let donor = rng.gen_range(0..n);
+    let mut rows = Vec::new();
+    for i in 0..n {
+        if i != donor && rng.gen::<f64>() < rate {
+            for j in 0..l {
+                data.set(i, j, data.get(donor, j));
+            }
+            rows.push(i);
+        }
+    }
+    rows
+}
+
+fn overwrite_cells<F>(data: &mut Matrix, count: usize, seed: u64, mut value: F) -> Vec<(usize, usize)>
+where
+    F: FnMut((usize, usize)) -> f64,
+{
+    let (n, m) = data.shape();
+    let total = n * m;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cells: Vec<(usize, usize)> = Vec::with_capacity(count.min(total));
+    let mut hit = vec![false; total];
+    while cells.len() < count.min(total) {
+        let flat = rng.gen_range(0..total);
+        if !hit[flat] {
+            hit[flat] = true;
+            cells.push((flat / m, flat % m));
+        }
+    }
+    cells.sort_unstable();
+    for &cell in &cells {
+        let v = value(cell);
+        data.set(cell.0, cell.1, v);
+    }
+    cells
+}
+
 fn choose_rows(n: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
     for i in 0..count.min(n) {
@@ -228,5 +325,74 @@ mod tests {
         let inj = inject_missing(&data, &[2], 0.5, 100, 21);
         assert_eq!(inj.reserved_rows.len(), 10);
         assert_eq!(inj.psi.count(), 0); // everything reserved
+    }
+
+    #[test]
+    fn nan_burst_hits_exactly_count_cells() {
+        let mut data = uniform_matrix(20, 5, 0.0, 1.0, 22);
+        let cells = inject_nan_burst(&mut data, 7, 23);
+        assert_eq!(cells.len(), 7);
+        let nan_count = data.as_slice().iter().filter(|v| v.is_nan()).count();
+        assert_eq!(nan_count, 7);
+        for &(i, j) in &cells {
+            assert!(data.get(i, j).is_nan());
+        }
+        // Deterministic.
+        let mut again = uniform_matrix(20, 5, 0.0, 1.0, 22);
+        assert_eq!(inject_nan_burst(&mut again, 7, 23), cells);
+    }
+
+    #[test]
+    fn inf_spike_alternates_signs() {
+        let mut data = uniform_matrix(15, 4, 0.0, 1.0, 24);
+        let cells = inject_inf_spike(&mut data, 6, 25);
+        assert_eq!(cells.len(), 6);
+        let pos = data.as_slice().iter().filter(|&&v| v == f64::INFINITY).count();
+        let neg = data
+            .as_slice()
+            .iter()
+            .filter(|&&v| v == f64::NEG_INFINITY)
+            .count();
+        assert_eq!(pos + neg, 6);
+        assert!(pos > 0 && neg > 0);
+    }
+
+    #[test]
+    fn constant_column_zeroes_variance() {
+        let mut data = uniform_matrix(30, 4, 0.0, 1.0, 26);
+        assert_eq!(inject_constant_column(&mut data, 2, 0.5), 30);
+        for i in 0..30 {
+            assert_eq!(data.get(i, 2), 0.5);
+        }
+        // Out-of-range column is a no-op.
+        assert_eq!(inject_constant_column(&mut data, 9, 1.0), 0);
+    }
+
+    #[test]
+    fn duplicate_si_copies_donor_coordinates() {
+        let mut data = uniform_matrix(50, 5, 0.0, 1.0, 27);
+        let rows = inject_duplicate_si(&mut data, 2, 0.5, 28);
+        assert!(!rows.is_empty());
+        // Every reported row matches some donor on the SI columns —
+        // verify all duplicated rows share identical coordinates.
+        let first = rows[0];
+        for &r in &rows {
+            assert_eq!(data.get(r, 0), data.get(first, 0));
+            assert_eq!(data.get(r, 1), data.get(first, 1));
+        }
+        // Attribute columns untouched.
+        let orig = uniform_matrix(50, 5, 0.0, 1.0, 27);
+        for i in 0..50 {
+            for j in 2..5 {
+                assert_eq!(data.get(i, j), orig.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn count_larger_than_matrix_is_clamped() {
+        let mut data = uniform_matrix(3, 3, 0.0, 1.0, 29);
+        let cells = inject_nan_burst(&mut data, 100, 30);
+        assert_eq!(cells.len(), 9);
     }
 }

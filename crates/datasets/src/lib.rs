@@ -27,9 +27,14 @@ pub mod csv;
 pub mod generate;
 pub mod inject;
 pub mod normalize;
+pub mod sanitize;
 pub mod table;
 
 pub use generate::{all_datasets, economic, farm, lake, vehicle, Scale};
-pub use inject::{inject_errors, inject_missing, Injection};
+pub use inject::{
+    inject_constant_column, inject_duplicate_si, inject_errors, inject_inf_spike, inject_missing,
+    inject_nan_burst, Injection,
+};
 pub use normalize::MinMaxScaler;
+pub use sanitize::{sanitize, SanitizeReport};
 pub use table::Dataset;

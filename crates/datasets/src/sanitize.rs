@@ -1,0 +1,209 @@
+//! Input sanitization for raw spatial tables (DESIGN.md §10).
+//!
+//! Real tables arrive with non-finite cells, exactly duplicated
+//! coordinates and zero-variance columns. The fit engine's resilient
+//! mode repairs what it must on the fly; this module is the *dataset*-
+//! level counterpart for cleaning a table once, up front, with a full
+//! accounting of what was changed — so pipelines can log or reject
+//! inputs before spending iterations on them.
+
+use smfl_linalg::{Mask, Matrix};
+use smfl_spatial::dedupe_coordinates;
+
+/// What [`sanitize`] changed, for logging and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Observed cells that were non-finite: masked out of `Ω` and
+    /// zeroed in the data.
+    pub non_finite_masked: usize,
+    /// Coordinate rows modified by jitter-free de-duplication.
+    pub deduped_rows: usize,
+    /// Columns whose observed values are all identical (zero variance)
+    /// — reported, not repaired: dropping columns is a caller decision.
+    pub constant_columns: Vec<usize>,
+}
+
+impl SanitizeReport {
+    /// `true` when the table needed no repair at all.
+    pub fn is_clean(&self) -> bool {
+        self.non_finite_masked == 0 && self.deduped_rows == 0 && self.constant_columns.is_empty()
+    }
+}
+
+/// Repairs `data`/`omega` in place:
+///
+/// 1. every observed non-finite cell is removed from `Ω` and zeroed
+///    (models must consult `Ω`, never placeholders);
+/// 2. exactly duplicated spatial coordinates (the first `spatial_cols`
+///    columns) are tie-broken deterministically via
+///    [`dedupe_coordinates`] — no RNG, no wall-clock;
+/// 3. zero-variance columns are detected and reported.
+///
+/// Shapes must agree; mismatched inputs are returned untouched with a
+/// default report (validation belongs to the fit entry points).
+pub fn sanitize(data: &mut Matrix, omega: &mut Mask, spatial_cols: usize) -> SanitizeReport {
+    let mut report = SanitizeReport::default();
+    if data.shape() != omega.shape() {
+        return report;
+    }
+    let (n, m) = data.shape();
+
+    // (1) non-finite observed cells.
+    for i in 0..n {
+        for j in 0..m {
+            if omega.get(i, j) && !data.get(i, j).is_finite() {
+                omega.set(i, j, false);
+                data.set(i, j, 0.0);
+                report.non_finite_masked += 1;
+            }
+        }
+    }
+
+    // (2) duplicate coordinates, on the SI block only.
+    let l = spatial_cols.min(m);
+    if l > 0 && n > 1 {
+        if let Ok(mut si) = data.columns(0, l) {
+            let rows = dedupe_coordinates(&mut si);
+            if rows > 0 {
+                report.deduped_rows = rows;
+                for i in 0..n {
+                    for j in 0..l {
+                        data.set(i, j, si.get(i, j));
+                    }
+                }
+            }
+        }
+    }
+
+    // (3) zero-variance columns (over observed cells; a column with at
+    // most one observation cannot show variance and is skipped).
+    for j in 0..m {
+        let mut first: Option<f64> = None;
+        let mut count = 0usize;
+        let mut constant = true;
+        for i in 0..n {
+            if !omega.get(i, j) {
+                continue;
+            }
+            count += 1;
+            let v = data.get(i, j);
+            match first {
+                None => first = Some(v),
+                Some(f) if f != v => {
+                    constant = false;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if constant && count > 1 {
+            report.constant_columns.push(j);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smfl_linalg::random::uniform_matrix;
+
+    #[test]
+    fn clean_table_reports_clean() {
+        let mut data = uniform_matrix(20, 4, 0.0, 1.0, 1);
+        let mut omega = Mask::full(20, 4);
+        let before = data.clone();
+        let report = sanitize(&mut data, &mut omega, 2);
+        assert!(report.is_clean(), "{report:?}");
+        assert!(data.approx_eq(&before, 0.0));
+        assert_eq!(omega.count(), 20 * 4);
+    }
+
+    #[test]
+    fn non_finite_cells_masked_and_zeroed() {
+        let mut data = uniform_matrix(10, 4, 0.1, 1.0, 2);
+        data.set(2, 1, f64::NAN);
+        data.set(5, 3, f64::INFINITY);
+        let mut omega = Mask::full(10, 4);
+        let report = sanitize(&mut data, &mut omega, 0);
+        assert_eq!(report.non_finite_masked, 2);
+        assert!(!omega.get(2, 1) && !omega.get(5, 3));
+        assert_eq!(data.get(2, 1), 0.0);
+        assert_eq!(data.get(5, 3), 0.0);
+        assert!(data.all_finite());
+    }
+
+    #[test]
+    fn unobserved_non_finite_cells_ignored() {
+        let mut data = uniform_matrix(8, 3, 0.0, 1.0, 3);
+        data.set(1, 1, f64::NAN);
+        let mut omega = Mask::full(8, 3);
+        omega.set(1, 1, false);
+        let report = sanitize(&mut data, &mut omega, 0);
+        assert_eq!(report.non_finite_masked, 0);
+        assert!(data.get(1, 1).is_nan()); // untouched: caller said unobserved
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_separated() {
+        let mut data = uniform_matrix(12, 4, 0.0, 1.0, 4);
+        for i in 0..6 {
+            data.set(i, 0, 0.5);
+            data.set(i, 1, 0.5);
+        }
+        let mut omega = Mask::full(12, 4);
+        let report = sanitize(&mut data, &mut omega, 2);
+        assert_eq!(report.deduped_rows, 5);
+        // All coordinate pairs now distinct.
+        for a in 0..12 {
+            for b in a + 1..12 {
+                assert!(
+                    data.get(a, 0) != data.get(b, 0) || data.get(a, 1) != data.get(b, 1),
+                    "rows {a}/{b} still duplicated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_columns_reported_not_repaired() {
+        let mut data = uniform_matrix(10, 4, 0.0, 1.0, 5);
+        for i in 0..10 {
+            data.set(i, 2, 0.7);
+        }
+        let mut omega = Mask::full(10, 4);
+        let report = sanitize(&mut data, &mut omega, 0);
+        assert_eq!(report.constant_columns, vec![2]);
+        for i in 0..10 {
+            assert_eq!(data.get(i, 2), 0.7);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_untouched_noop() {
+        let mut data = uniform_matrix(5, 3, 0.0, 1.0, 6);
+        let mut omega = Mask::full(4, 3);
+        let report = sanitize(&mut data, &mut omega, 2);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn sanitize_is_deterministic() {
+        let make = || {
+            let mut d = uniform_matrix(15, 4, 0.0, 1.0, 7);
+            for i in 0..5 {
+                d.set(i, 0, 0.3);
+                d.set(i, 1, 0.3);
+            }
+            d.set(8, 2, f64::NAN);
+            d
+        };
+        let (mut a, mut b) = (make(), make());
+        let (mut oa, mut ob) = (Mask::full(15, 4), Mask::full(15, 4));
+        let ra = sanitize(&mut a, &mut oa, 2);
+        let rb = sanitize(&mut b, &mut ob, 2);
+        assert_eq!(ra, rb);
+        assert!(a.approx_eq(&b, 0.0));
+        assert_eq!(oa, ob);
+    }
+}

@@ -47,6 +47,21 @@ pub enum LinalgError {
     },
     /// An empty matrix was passed to an operation that requires data.
     Empty,
+    /// A value that must be finite was NaN or ±Inf. Holds the operation
+    /// name and the (row, col) of the first offending cell.
+    NonFinite {
+        /// Name of the operation that found the value.
+        op: &'static str,
+        /// Position of the first non-finite cell.
+        index: (usize, usize),
+    },
+    /// An internal invariant was violated — a bug surfaced as a
+    /// recoverable error instead of a panic, so a serving process can
+    /// reject the one request and stay up.
+    Internal {
+        /// The invariant that failed, in human-readable form.
+        invariant: &'static str,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -72,6 +87,14 @@ impl fmt::Display for LinalgError {
                 write!(f, "expected {expected} elements, got {actual}")
             }
             LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
+            LinalgError::NonFinite { op, index } => write!(
+                f,
+                "non-finite value in {op} at ({}, {})",
+                index.0, index.1
+            ),
+            LinalgError::Internal { invariant } => {
+                write!(f, "internal invariant violated: {invariant}")
+            }
         }
     }
 }
@@ -120,6 +143,18 @@ mod tests {
             "expected 6 elements, got 5"
         );
         assert_eq!(LinalgError::Empty.to_string(), "operation requires a non-empty matrix");
+    }
+
+    #[test]
+    fn display_non_finite_and_internal() {
+        assert_eq!(
+            LinalgError::NonFinite { op: "fit", index: (3, 1) }.to_string(),
+            "non-finite value in fit at (3, 1)"
+        );
+        assert_eq!(
+            LinalgError::Internal { invariant: "si computed" }.to_string(),
+            "internal invariant violated: si computed"
+        );
     }
 
     #[test]

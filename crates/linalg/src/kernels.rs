@@ -408,6 +408,12 @@ pub struct Workspace {
     /// Dense `N x M` reconstruction buffer; allocated lazily on first
     /// use of the dense path (see [`Self::dense_r`]).
     pub dense_r: Option<Matrix>,
+    /// Last-good `U` snapshot (`N x K`) for checkpoint/rollback;
+    /// allocated lazily on the first [`Self::checkpoint`] so
+    /// non-resilient fits never pay for it.
+    pub snap_u: Option<Matrix>,
+    /// Last-good `V` snapshot (`K x M`), paired with [`Self::snap_u`].
+    pub snap_v: Option<Matrix>,
     /// `true` when [`Self::uv_vals`] (and, on the dense path,
     /// [`Self::dense_r`]) match the caller's current `(U, V)`. The
     /// updaters set this on exit so the next step can skip the opening
@@ -434,6 +440,8 @@ impl Workspace {
             reg_b: Matrix::zeros(n, k),
             col_scratch: vec![0.0; n.max(m)],
             dense_r: None,
+            snap_u: None,
+            snap_v: None,
             uv_fresh: false,
         }
     }
@@ -450,6 +458,46 @@ impl Workspace {
     /// or `V` outside an update step.
     pub fn invalidate(&mut self) {
         self.uv_fresh = false;
+    }
+
+    /// Records `(u, v)` as the last-good iterate. The snapshot buffers
+    /// are allocated on the first call and reused verbatim afterwards
+    /// (double-buffering), so steady-state checkpointing is a pair of
+    /// `memcpy`s — no heap allocation.
+    pub fn checkpoint(&mut self, u: &Matrix, v: &Matrix) {
+        match &mut self.snap_u {
+            Some(s) if s.shape() == u.shape() => {
+                s.as_mut_slice().copy_from_slice(u.as_slice());
+            }
+            slot => *slot = Some(u.clone()),
+        }
+        match &mut self.snap_v {
+            Some(s) if s.shape() == v.shape() => {
+                s.as_mut_slice().copy_from_slice(v.as_slice());
+            }
+            slot => *slot = Some(v.clone()),
+        }
+    }
+
+    /// `true` once [`Self::checkpoint`] has recorded an iterate.
+    pub fn has_checkpoint(&self) -> bool {
+        self.snap_u.is_some() && self.snap_v.is_some()
+    }
+
+    /// Restores the last checkpoint into `(u, v)` and invalidates the
+    /// cached reconstruction. Returns `false` (leaving `u`/`v` alone)
+    /// when no checkpoint was ever recorded or the shapes disagree.
+    pub fn restore(&mut self, u: &mut Matrix, v: &mut Matrix) -> bool {
+        let (Some(su), Some(sv)) = (&self.snap_u, &self.snap_v) else {
+            return false;
+        };
+        if su.shape() != u.shape() || sv.shape() != v.shape() {
+            return false;
+        }
+        u.as_mut_slice().copy_from_slice(su.as_slice());
+        v.as_mut_slice().copy_from_slice(sv.as_slice());
+        self.uv_fresh = false;
+        true
     }
 }
 
@@ -637,5 +685,29 @@ mod tests {
         assert!(ws.dense_r.is_none());
         let shape = ws.dense_r().shape();
         assert_eq!(shape, (20, 8));
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrips_and_reuses_buffers() {
+        let (_, _, p, u, v) = fixture(12, 5, 2, 3);
+        let mut ws = Workspace::new(&p, 2);
+        assert!(!ws.has_checkpoint());
+        let mut cu = Matrix::zeros(12, 2);
+        let mut cv = Matrix::zeros(2, 5);
+        // Restore before any checkpoint is a no-op.
+        assert!(!ws.restore(&mut cu, &mut cv));
+        ws.checkpoint(&u, &v);
+        assert!(ws.has_checkpoint());
+        let ptr_u = ws.snap_u.as_ref().unwrap().as_slice().as_ptr();
+        // Steady-state checkpointing keeps the same buffers.
+        ws.checkpoint(&u, &v);
+        assert_eq!(ptr_u, ws.snap_u.as_ref().unwrap().as_slice().as_ptr());
+        ws.uv_fresh = true;
+        assert!(ws.restore(&mut cu, &mut cv));
+        assert!(cu.approx_eq(&u, 0.0));
+        assert!(cv.approx_eq(&v, 0.0));
+        assert!(!ws.uv_fresh, "restore must invalidate the cached reconstruction");
+        // Shape mismatch is rejected, not silently corrupted.
+        assert!(!ws.restore(&mut Matrix::zeros(3, 2), &mut cv));
     }
 }

@@ -171,6 +171,13 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// The stored values, row-major (one slice over all rows). Useful
+    /// for whole-matrix scans such as finiteness checks.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// `(column, value)` pairs of row `i`.
     pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         debug_assert!(i < self.rows);

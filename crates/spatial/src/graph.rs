@@ -155,6 +155,48 @@ impl SpatialGraph {
     pub fn regularization(&self, u: &Matrix) -> Result<f64> {
         self.laplacian.quadratic_form(u)
     }
+
+    /// Number of connected components of the similarity graph
+    /// (iterative DFS over CSR rows; zero-weight entries are absent by
+    /// construction, so every stored entry is an edge).
+    pub fn connected_components(&self) -> usize {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut components = 0;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            seen[start] = true;
+            stack.push(start);
+            while let Some(v) = stack.pop() {
+                for (j, _) in self.similarity.row_entries(v) {
+                    if !seen[j] {
+                        seen[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// `true` when every vertex is reachable from every other (a single
+    /// connected component). The empty graph counts as connected.
+    pub fn is_connected(&self) -> bool {
+        self.connected_components() <= 1
+    }
+
+    /// `true` when every stored edge weight (and hence degree and
+    /// Laplacian entry) is finite. Non-finite SI coordinates propagate
+    /// NaN distances into heat-kernel weights; the fit engine uses this
+    /// to decide whether the Laplacian term is safe to keep.
+    pub fn all_finite(&self) -> bool {
+        self.similarity.values().iter().all(|v| v.is_finite())
+            && self.laplacian.values().iter().all(|v| v.is_finite())
+    }
 }
 
 /// Symmetrizes flat directed kNN edge lists (`kk` hits per query) into
@@ -490,5 +532,54 @@ mod tests {
         let g = SpatialGraph::build(&line_points(4), 0, NeighborSearch::KdTree).unwrap();
         assert_eq!(g.similarity.nnz(), 0);
         assert_eq!(g.laplacian.nnz(), 0);
+    }
+
+    #[test]
+    fn connectivity_detects_separated_clusters() {
+        // Two tight clusters far apart, p = 1: each point's NN stays in
+        // its own cluster, so the graph splits into two components.
+        let pts = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.2, 0.0],
+            vec![100.0, 0.0],
+            vec![100.1, 0.0],
+            vec![100.2, 0.0],
+        ])
+        .unwrap();
+        let g = SpatialGraph::build(&pts, 1, NeighborSearch::BruteForce).unwrap();
+        assert_eq!(g.connected_components(), 2);
+        assert!(!g.is_connected());
+        // A line with generous p is one component.
+        let line = SpatialGraph::build(&line_points(6), 2, NeighborSearch::KdTree).unwrap();
+        assert_eq!(line.connected_components(), 1);
+        assert!(line.is_connected());
+    }
+
+    #[test]
+    fn edgeless_graph_has_n_components() {
+        let g = SpatialGraph::build(&line_points(4), 0, NeighborSearch::KdTree).unwrap();
+        assert_eq!(g.connected_components(), 4);
+        let empty = SpatialGraph::build(&Matrix::zeros(0, 2), 3, NeighborSearch::KdTree).unwrap();
+        assert_eq!(empty.connected_components(), 0);
+        assert!(empty.is_connected());
+    }
+
+    #[test]
+    fn all_finite_flags_nan_weights() {
+        let pts = line_points(5);
+        let good = SpatialGraph::build(&pts, 2, NeighborSearch::KdTree).unwrap();
+        assert!(good.all_finite());
+        // NaN coordinates produce NaN heat-kernel weights.
+        let mut bad_pts = pts.clone();
+        bad_pts.set(2, 0, f64::NAN);
+        let bad = SpatialGraph::build_weighted(
+            &bad_pts,
+            2,
+            NeighborSearch::BruteForce,
+            GraphWeighting::HeatKernel { sigma: 1.0 },
+        )
+        .unwrap();
+        assert!(!bad.all_finite());
     }
 }

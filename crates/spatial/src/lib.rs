@@ -33,11 +33,13 @@
 
 #![warn(missing_docs)]
 
+pub mod dedupe;
 pub mod graph;
 pub mod kdtree;
 pub mod kmeans;
 pub mod metric;
 
+pub use dedupe::dedupe_coordinates;
 pub use graph::{fill_missing_si, GraphWeighting, NeighborSearch, SpatialGraph};
 pub use kdtree::KdTree;
 pub use kmeans::{kmeans, KMeansAlgorithm, KMeansConfig, KMeansInit, KMeansResult};
