@@ -52,6 +52,8 @@ pub fn hals_step(
     if !ws.uv_fresh {
         v.transpose_into(&mut ws.vt)?;
         pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+        ws.counters.sddmm += 1;
+        ws.counters.masked_nnz += pattern.nnz() as u64;
     }
     pattern.residual_into(&ws.uv_vals, &mut ws.res_vals)?;
     let r = &mut ws.res_vals;
@@ -125,6 +127,11 @@ pub fn hals_step(
     // the next step's warm start).
     v.transpose_into(&mut ws.vt)?;
     pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+    ws.counters.sddmm += 1;
+    ws.counters.hals_sweeps += 1;
+    // Each sweep walks every observed entry once per latent column for
+    // both factor passes.
+    ws.counters.masked_nnz += (2 * k * pattern.nnz()) as u64;
     ws.uv_fresh = true;
     pattern.fit_term(&ws.uv_vals)
 }

@@ -42,7 +42,7 @@ pub enum FitFailure {
 
 /// One recorded step of the resilient engine's recovery machinery, in
 /// the order it happened.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FitEvent {
     /// Input sanitization masked out this many unusable observed cells
     /// (non-finite, or negative under a multiplicative updater).

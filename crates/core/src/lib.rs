@@ -49,11 +49,17 @@ pub mod landmarks;
 pub mod model;
 pub mod model_selection;
 pub mod objective;
+pub mod telemetry;
 pub mod updater;
 
 pub use config::{Resilience, SmflConfig, Updater, Variant};
 pub use health::{FitEvent, FitFailure, FitReport, DENOM_EPS};
 pub use landmarks::Landmarks;
-pub use model::{fit, fit_resilient, fit_with_landmarks, impute, repair, FittedModel};
+pub use model::{
+    fit, fit_resilient, fit_traced, fit_with_landmarks, fit_with_sink, impute, repair, FittedModel,
+};
+pub use telemetry::{
+    IterEvent, JsonlSink, NoopSink, Phase, RecordingSink, SpanEvent, Trace, TraceSink,
+};
 pub use model_selection::{fit_with_selection, grid_search, GridSearchResult, ParamGrid};
 pub use objective::objective;

@@ -10,10 +10,14 @@ use crate::config::{SmflConfig, Updater};
 use crate::health::{classify, FitEvent, FitFailure, FitReport, HealthPolicy};
 use crate::landmarks::Landmarks;
 use crate::objective::objective_from_fit_term;
+use crate::telemetry::{
+    IterEvent, JsonlSink, NoopSink, Phase, RecordingSink, SpanEvent, Trace, TraceSink,
+};
 use crate::updater::{gradient_step, multiplicative_step, UpdateContext};
 use smfl_linalg::random::positive_uniform_matrix;
 use smfl_linalg::{LinalgError, Mask, Matrix, ObservedPattern, Result, Workspace};
 use smfl_spatial::{dedupe_coordinates, fill_missing_si, SpatialGraph};
+use std::time::Instant;
 
 /// A fitted factorization `X ≈ U·V`.
 #[derive(Debug, Clone)]
@@ -37,6 +41,9 @@ pub struct FittedModel {
     /// Fault-tolerance audit trail (empty/default unless the fit ran
     /// with `config.resilience.enabled`). See [`FitReport`].
     pub report: FitReport,
+    /// Full telemetry trace — populated only by [`fit_traced`]
+    /// (boxed so the common untraced model stays small).
+    pub trace: Option<Box<Trace>>,
 }
 
 impl FittedModel {
@@ -80,6 +87,11 @@ impl FittedModel {
     pub fn final_objective(&self) -> Option<f64> {
         self.objective_history.last().copied()
     }
+
+    /// The recorded telemetry trace (`Some` only for [`fit_traced`]).
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_deref()
+    }
 }
 
 /// Fits a model to the observed cells of `x`.
@@ -92,7 +104,52 @@ impl FittedModel {
 ///   nonnegative data; min-max normalize first, as the paper does);
 /// - propagated substrate failures.
 pub fn fit(x: &Matrix, omega: &Mask, config: &SmflConfig) -> Result<FittedModel> {
-    fit_inner(x, omega, config, None)
+    fit_dispatch(x, omega, config, None)
+}
+
+/// Routes a fit through the `SMFL_TRACE` JSONL sink when the
+/// environment asks for one, and through the erased [`NoopSink`]
+/// otherwise. A trace file that cannot be created degrades to an
+/// untraced fit with a warning — telemetry never fails a fit.
+fn fit_dispatch(
+    x: &Matrix,
+    omega: &Mask,
+    config: &SmflConfig,
+    landmarks_override: Option<Landmarks>,
+) -> Result<FittedModel> {
+    match crate::telemetry::env_trace_path() {
+        Some(path) => match JsonlSink::create(&path) {
+            Ok(mut sink) => fit_inner(x, omega, config, landmarks_override, &mut sink),
+            Err(err) => {
+                eprintln!("SMFL_TRACE: cannot create {}: {err}; tracing disabled", path.display());
+                fit_inner(x, omega, config, landmarks_override, &mut NoopSink)
+            }
+        },
+        None => fit_inner(x, omega, config, landmarks_override, &mut NoopSink),
+    }
+}
+
+/// [`fit`] streaming telemetry into a caller-supplied [`TraceSink`].
+///
+/// With [`NoopSink`] this is exactly [`fit`] (same monomorphization);
+/// with any enabled sink the fit is numerically identical — only
+/// observed. The `SMFL_TRACE` environment toggle is bypassed.
+pub fn fit_with_sink<S: TraceSink>(
+    x: &Matrix,
+    omega: &Mask,
+    config: &SmflConfig,
+    sink: &mut S,
+) -> Result<FittedModel> {
+    fit_inner(x, omega, config, None, sink)
+}
+
+/// [`fit`] recording a full in-memory [`Trace`], attached to the
+/// returned model and readable via [`FittedModel::trace`].
+pub fn fit_traced(x: &Matrix, omega: &Mask, config: &SmflConfig) -> Result<FittedModel> {
+    let mut sink = RecordingSink::with_capacity(config.max_iter.min(1024));
+    let mut model = fit_inner(x, omega, config, None, &mut sink)?;
+    model.trace = Some(Box::new(sink.into_trace()));
+    Ok(model)
 }
 
 /// [`fit`] with explicitly supplied landmarks, bypassing the k-means
@@ -115,7 +172,7 @@ pub fn fit_with_landmarks(
             op: "fit_with_landmarks",
         });
     }
-    fit_inner(x, omega, config, Some(landmarks))
+    fit_dispatch(x, omega, config, Some(landmarks))
 }
 
 /// [`fit`] with the fault-tolerance machinery enabled: input
@@ -127,6 +184,15 @@ pub fn fit_resilient(x: &Matrix, omega: &Mask, config: &SmflConfig) -> Result<Fi
     let mut cfg = config.clone();
     cfg.resilience.enabled = true;
     fit(x, omega, &cfg)
+}
+
+/// Appends `event` to the report and mirrors it to the sink, keeping a
+/// trace's engine-event stream identical to `FitReport::events`.
+fn record<S: TraceSink>(report: &mut FitReport, sink: &mut S, event: FitEvent) {
+    if S::ENABLED {
+        sink.engine(&event);
+    }
+    report.events.push(event);
 }
 
 /// Deterministic seed derivation for retries — `salt = 0` returns the
@@ -184,11 +250,12 @@ fn landmarks_healthy(lm: &Landmarks) -> bool {
 /// degenerate result the coordinates are de-duplicated (jitter-free)
 /// and k-means re-seeded, up to `max_restarts` times; then landmarks
 /// are dropped (the last rung of the ladder before plain NMF).
-fn landmarks_resilient(
+fn landmarks_resilient<S: TraceSink>(
     si: &Matrix,
     k: usize,
     config: &SmflConfig,
     report: &mut FitReport,
+    sink: &mut S,
 ) -> Option<Landmarks> {
     let max_attempts = config.resilience.max_restarts;
     let mut si_work: Option<Matrix> = None;
@@ -208,17 +275,17 @@ fn landmarks_resilient(
             let rows = dedupe_coordinates(&mut copy);
             if rows > 0 {
                 report.deduped_rows = rows;
-                report.events.push(FitEvent::CoordinatesDeduped { rows });
+                record(report, sink, FitEvent::CoordinatesDeduped { rows });
             }
             si_work = Some(copy);
         }
-        report.events.push(FitEvent::LandmarksRetried {
-            attempt: attempt + 1,
-        });
+        record(report, sink, FitEvent::LandmarksRetried { attempt: attempt + 1 });
     }
-    report.events.push(FitEvent::LandmarksDropped {
-        reason: "degenerate after bounded retries",
-    });
+    record(
+        report,
+        sink,
+        FitEvent::LandmarksDropped { reason: "degenerate after bounded retries" },
+    );
     None
 }
 
@@ -226,18 +293,14 @@ fn landmarks_resilient(
 /// rung: a failed build, non-finite edge weights, an edgeless graph or
 /// a disconnected one all drop the Laplacian term (recorded), leaving
 /// landmarks intact.
-fn graph_resilient(
+fn graph_resilient<S: TraceSink>(
     si: &Matrix,
     n: usize,
     config: &SmflConfig,
     report: &mut FitReport,
+    sink: &mut S,
 ) -> Option<SpatialGraph> {
-    let reason = match SpatialGraph::build_weighted(
-        si,
-        config.p_neighbors,
-        config.search,
-        config.weighting,
-    ) {
+    let reason = match build_graph_traced(si, config, sink) {
         Err(_) => "graph construction failed",
         Ok(g) => {
             if !g.all_finite() {
@@ -251,8 +314,27 @@ fn graph_resilient(
             }
         }
     };
-    report.events.push(FitEvent::LaplacianDropped { reason });
+    record(report, sink, FitEvent::LaplacianDropped { reason });
     None
+}
+
+/// `SpatialGraph::build_weighted`, emitting the kNN/assembly sub-spans
+/// when the sink is enabled (the disabled path calls the plain builder
+/// so no clock is ever read).
+fn build_graph_traced<S: TraceSink>(
+    si: &Matrix,
+    config: &SmflConfig,
+    sink: &mut S,
+) -> Result<SpatialGraph> {
+    if S::ENABLED {
+        let (g, stats) =
+            SpatialGraph::build_instrumented(si, config.p_neighbors, config.search, config.weighting, 0)?;
+        sink.span(&SpanEvent { phase: Phase::GraphKnn, wall: stats.knn });
+        sink.span(&SpanEvent { phase: Phase::GraphAssembly, wall: stats.assembly });
+        Ok(g)
+    } else {
+        SpatialGraph::build_weighted(si, config.p_neighbors, config.search, config.weighting)
+    }
 }
 
 /// `dst = (dst + fresh) / 2` elementwise — the deterministic restart
@@ -264,11 +346,16 @@ fn blend_half(dst: &mut Matrix, fresh: &Matrix) {
     }
 }
 
-fn fit_inner(
+/// The engine proper, generic over the telemetry sink. `S = NoopSink`
+/// monomorphizes to the uninstrumented engine: every `if S::ENABLED`
+/// below const-folds away, so no clock is read, no event constructed
+/// and no allocation made on the disabled path.
+fn fit_inner<S: TraceSink>(
     x: &Matrix,
     omega: &Mask,
     config: &SmflConfig,
     landmarks_override: Option<Landmarks>,
+    sink: &mut S,
 ) -> Result<FittedModel> {
     let res = config.resilience;
     let mut report = FitReport::default();
@@ -283,7 +370,7 @@ fn fit_inner(
     let (x, omega) = match &sanitized {
         Some((cx, co, removed)) => {
             report.sanitized_cells = *removed;
-            report.events.push(FitEvent::Sanitized { cells: *removed });
+            record(&mut report, sink, FitEvent::Sanitized { cells: *removed });
             (cx, co)
         }
         None => (x, omega),
@@ -300,7 +387,12 @@ fn fit_inner(
     let needs_graph = config.variant.uses_spatial_regularization() && config.lambda != 0.0;
     let needs_si_landmarks = landmarks_override.is_none() && config.variant.uses_landmarks();
     let si = if needs_graph || needs_si_landmarks {
-        Some(fill_missing_si(x, omega, l))
+        let t0 = S::ENABLED.then(Instant::now);
+        let si = fill_missing_si(x, omega, l);
+        if let Some(t0) = t0 {
+            sink.span(&SpanEvent { phase: Phase::SiFill, wall: t0.elapsed() });
+        }
+        Some(si)
     } else {
         None
     };
@@ -312,16 +404,16 @@ fn fit_inner(
         let si = si.as_ref().ok_or(LinalgError::Internal {
             invariant: "SI computed when the graph needs it",
         })?;
-        if res.enabled {
-            graph_resilient(si, n, config, &mut report)
+        let t0 = S::ENABLED.then(Instant::now);
+        let graph = if res.enabled {
+            graph_resilient(si, n, config, &mut report, sink)
         } else {
-            Some(SpatialGraph::build_weighted(
-                si,
-                config.p_neighbors,
-                config.search,
-                config.weighting,
-            )?)
+            Some(build_graph_traced(si, config, sink)?)
+        };
+        if let Some(t0) = t0 {
+            sink.span(&SpanEvent { phase: Phase::GraphBuild, wall: t0.elapsed() });
         }
+        graph
     } else {
         None
     };
@@ -346,11 +438,15 @@ fn fit_inner(
             let si = si.as_ref().ok_or(LinalgError::Internal {
                 invariant: "SI computed when landmarks need it",
             })?;
+            let t0 = S::ENABLED.then(Instant::now);
             let lm = if res.enabled {
-                landmarks_resilient(si, k, config, &mut report)
+                landmarks_resilient(si, k, config, &mut report, sink)
             } else {
                 Some(Landmarks::compute(si, k, config.kmeans_max_iter, config.seed)?)
             };
+            if let Some(t0) = t0 {
+                sink.span(&SpanEvent { phase: Phase::Landmarks, wall: t0.elapsed() });
+            }
             if let Some(lm) = &lm {
                 lm.inject(&mut v)?;
             }
@@ -363,9 +459,13 @@ fn fit_inner(
     // allocate the per-fit scratch once; the update loop below performs
     // no further heap allocation (checkpoint buffers included — they are
     // allocated on first use and reused by memcpy thereafter).
+    let compile_t0 = S::ENABLED.then(Instant::now);
     let masked_x = omega.apply(x)?;
     let pattern = ObservedPattern::compile(x, omega)?;
     let mut ws = Workspace::new(&pattern, k);
+    if let Some(t0) = compile_t0 {
+        sink.span(&SpanEvent { phase: Phase::PatternCompile, wall: t0.elapsed() });
+    }
     let ctx = UpdateContext {
         masked_x: &masked_x,
         omega,
@@ -392,7 +492,9 @@ fn fit_inner(
     let mut since_best = 0usize;
     let mut restarts = 0usize;
     let mut lr_scale = 1.0f64;
+    let loop_t0 = S::ENABLED.then(Instant::now);
     for t in 0..config.max_iter {
+        let iter_t0 = S::ENABLED.then(Instant::now);
         let fit_t = match config.updater {
             Updater::Multiplicative => multiplicative_step(&ctx, &mut ws, &mut u, &mut v)?,
             Updater::GradientDescent { learning_rate } => {
@@ -402,25 +504,48 @@ fn fit_inner(
         };
         let obj = objective_from_fit_term(fit_t, &u, config.lambda, graph.as_ref())?;
 
+        // Health classification: the resilient engine runs the full
+        // sentinel exactly as before; the legacy fail-fast path only
+        // ever reacted to a non-finite objective.
+        let health = if res.enabled {
+            classify(obj, prev_accepted, &u, &v, since_best, &policy)
+        } else if !obj.is_finite() {
+            Some(FitFailure::NonFinite)
+        } else {
+            None
+        };
+
+        if S::ENABLED {
+            sink.iter(&IterEvent {
+                iteration: t,
+                objective: obj,
+                fit_term: fit_t,
+                laplacian_term: obj - fit_t,
+                wall: iter_t0.map_or(std::time::Duration::ZERO, |t0| t0.elapsed()),
+                health,
+                accepted: health.is_none(),
+                landmarks_intact: landmarks
+                    .as_ref()
+                    .is_none_or(|lm| lm.verify_injected(&v)),
+            });
+        }
+
         if !res.enabled {
             // Legacy fail-fast path, kept bitwise identical.
-            if !obj.is_finite() {
+            if health.is_some() {
                 return Err(LinalgError::NoConvergence {
                     routine: "smfl_fit",
                     iterations: t,
                 });
             }
-        } else if let Some(failure) = classify(obj, prev_accepted, &u, &v, since_best, &policy) {
+        } else if let Some(failure) = health {
             if failure == FitFailure::Stalled || restarts >= res.max_restarts {
                 report.failure = Some(failure);
                 break;
             }
             restarts += 1;
             report.restarts = restarts;
-            report.events.push(FitEvent::Restarted {
-                iteration: t,
-                failure,
-            });
+            record(&mut report, sink, FitEvent::Restarted { iteration: t, failure });
             if matches!(config.updater, Updater::GradientDescent { .. }) {
                 lr_scale *= 0.5;
             }
@@ -504,9 +629,7 @@ fn fit_inner(
         {
             if ws.restore(&mut u, &mut v) {
                 report.rolled_back = true;
-                report.events.push(FitEvent::RolledBack {
-                    iteration: iterations,
-                });
+                record(&mut report, sink, FitEvent::RolledBack { iteration: iterations });
             }
         } else if factors_bad {
             // No good iterate was ever recorded: return a finite,
@@ -519,11 +642,17 @@ fn fit_inner(
                 lm.inject(&mut v)?;
             }
             report.rolled_back = true;
-            report.events.push(FitEvent::RolledBack {
-                iteration: iterations,
-            });
+            record(&mut report, sink, FitEvent::RolledBack { iteration: iterations });
         }
         report.record_tail(&history);
+    }
+
+    if S::ENABLED {
+        if let Some(t0) = loop_t0 {
+            sink.span(&SpanEvent { phase: Phase::UpdateLoop, wall: t0.elapsed() });
+        }
+        sink.counters(&ws.counters);
+        sink.finish();
     }
 
     Ok(FittedModel {
@@ -535,6 +664,7 @@ fn fit_inner(
         converged,
         spatial_cols: l,
         report,
+        trace: None,
     })
 }
 
@@ -808,6 +938,7 @@ mod tests {
             converged: false,
             spatial_cols: 0,
             report: FitReport::default(),
+            trace: None,
         };
         assert_eq!(model.cluster_labels(), vec![0, 1, 0]);
     }

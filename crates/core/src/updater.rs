@@ -77,6 +77,8 @@ fn ensure_uv(
     if !ws.uv_fresh {
         v.transpose_into(&mut ws.vt)?;
         pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+        ws.counters.sddmm += 1;
+        ws.counters.masked_nnz += pattern.nnz() as u64;
     }
     Ok(())
 }
@@ -96,15 +98,21 @@ pub fn multiplicative_step(
     }
     let pattern = ctx.pattern;
 
+    let nnz = pattern.nnz() as u64;
+
     // ---- U update (Formula 13) ----
     ensure_uv(pattern, ws, u, v)?;
     pattern.spmm_into(pattern.x_vals(), &ws.vt, &mut ws.numer_u)?; // R_Ω(X)·Vᵀ
     pattern.spmm_into(&ws.uv_vals, &ws.vt, &mut ws.denom_u)?; // R_Ω(UV)·Vᵀ
+    ws.counters.spmm += 2;
+    ws.counters.masked_nnz += 2 * nnz;
     apply_graph_terms(ctx, ws, u)?;
     multiplicative_update(u.as_mut_slice(), ws.numer_u.as_slice(), ws.denom_u.as_slice());
 
     // ---- V update (Formula 14), live columns only ----
     pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?; // with refreshed U
+    ws.counters.sddmm += 1;
+    ws.counters.masked_nnz += nnz;
     let start = ctx.v_start_col();
     let m = v.cols();
     if start < m {
@@ -112,6 +120,8 @@ pub fn multiplicative_step(
         // rows skipped inside the kernel.
         pattern.spmm_t_into(pattern.x_vals(), u, start, &mut ws.numer_vt)?;
         pattern.spmm_t_into(&ws.uv_vals, u, start, &mut ws.denom_vt)?;
+        ws.counters.spmm_t += 2;
+        ws.counters.masked_nnz += 2 * nnz;
         for k in 0..v.rows() {
             for j in start..m {
                 let n = ws.numer_vt.get(j, k);
@@ -127,6 +137,8 @@ pub fn multiplicative_step(
 
     v.transpose_into(&mut ws.vt)?;
     pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+    ws.counters.sddmm += 1;
+    ws.counters.masked_nnz += nnz;
     ws.uv_fresh = true;
     pattern.fit_term(&ws.uv_vals)
 }
@@ -188,6 +200,8 @@ fn multiplicative_step_dense(
     matmul_into(u, v, dr)?;
     ctx.omega.zero_unset(dr)?;
     ctx.pattern.gather_into(dr, &mut ws.uv_vals)?;
+    ws.counters.dense_steps += 1;
+    ws.counters.masked_nnz += ctx.pattern.nnz() as u64;
     ws.uv_fresh = true;
     ctx.pattern.fit_term(&ws.uv_vals)
 }
@@ -222,11 +236,14 @@ pub fn gradient_step(
     learning_rate: f64,
 ) -> Result<f64> {
     let pattern = ctx.pattern;
+    let nnz = pattern.nnz() as u64;
 
     // ∂O/∂U = −2·R_Ω(X − UV)·Vᵀ + 2λ·L·U
     ensure_uv(pattern, ws, u, v)?;
     pattern.residual_into(&ws.uv_vals, &mut ws.res_vals)?; // R_Ω(X − UV)
     pattern.spmm_into(&ws.res_vals, &ws.vt, &mut ws.numer_u)?;
+    ws.counters.spmm += 1;
+    ws.counters.masked_nnz += nnz;
     if let (Some(g), true) = (ctx.graph, ctx.lambda != 0.0) {
         g.laplacian.spmm_into(u, &mut ws.reg_a)?;
         u.axpy(-2.0 * learning_rate * ctx.lambda, &ws.reg_a)?;
@@ -236,10 +253,14 @@ pub fn gradient_step(
 
     // ∂O/∂V = −2·Uᵀ·R_Ω(X − UV), frozen columns get zero gradient.
     pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+    ws.counters.sddmm += 1;
+    ws.counters.masked_nnz += nnz;
     pattern.residual_into(&ws.uv_vals, &mut ws.res_vals)?;
     let start = ctx.v_start_col();
     if start < v.cols() {
         pattern.spmm_t_into(&ws.res_vals, u, start, &mut ws.numer_vt)?;
+        ws.counters.spmm_t += 1;
+        ws.counters.masked_nnz += nnz;
         for k in 0..v.rows() {
             for j in start..v.cols() {
                 let step = 2.0 * learning_rate * ws.numer_vt.get(j, k);
@@ -252,6 +273,8 @@ pub fn gradient_step(
 
     v.transpose_into(&mut ws.vt)?;
     pattern.sddmm_into(u, &ws.vt, &mut ws.uv_vals)?;
+    ws.counters.sddmm += 1;
+    ws.counters.masked_nnz += nnz;
     ws.uv_fresh = true;
     pattern.fit_term(&ws.uv_vals)
 }

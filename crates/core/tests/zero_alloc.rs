@@ -15,6 +15,11 @@
 //!    same computation (20x the queries / 20 extra k-means iterations
 //!    must not change the count, so the marginal cost is provably zero).
 //!
+//! The telemetry layer (DESIGN.md §11) extends the contract: the no-op
+//! sink's instrumentation sites allocate nothing at all, and a
+//! recording sink allocates only on event-buffer growth (never when
+//! pre-reserved).
+//!
 //! This file deliberately holds exactly ONE `#[test]`: the allocation
 //! counter is process-global, and Rust runs tests in the same binary
 //! concurrently, so any sibling test would pollute the count.
@@ -51,6 +56,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 static GLOBAL: CountingAllocator = CountingAllocator;
 
 use smfl_core::health::{classify, HealthPolicy};
+use smfl_core::telemetry::{IterEvent, NoopSink, RecordingSink, TraceSink};
 use smfl_core::updater::{multiplicative_step, UpdateContext};
 use smfl_linalg::random::{positive_uniform_matrix, uniform_matrix};
 use smfl_linalg::{Mask, ObservedPattern, Workspace};
@@ -197,4 +203,45 @@ fn multiplicative_step_allocates_nothing_after_warmup() {
              ({allocs_short} for 3 iters vs {allocs_long} for 23)"
         );
     }
+
+    // --- Phase 4: telemetry sinks in the steady-state loop. -------------
+    // The engine's per-iteration instrumentation is
+    // `if S::ENABLED { sink.iter(&event) }`; drive that exact shape.
+    fn drive<S: TraceSink>(sink: &mut S, iterations: usize) {
+        for t in 0..iterations {
+            if S::ENABLED {
+                let event = IterEvent {
+                    iteration: t,
+                    objective: 1.0 / (t + 1) as f64,
+                    fit_term: 1.0 / (t + 1) as f64,
+                    laplacian_term: 0.0,
+                    wall: std::time::Duration::from_micros(1),
+                    health: None,
+                    accepted: true,
+                    landmarks_intact: true,
+                };
+                sink.iter(&event);
+            }
+        }
+    }
+
+    // The no-op sink erases the instrumentation: zero allocations, full stop.
+    let noop = count_allocs(|| drive(&mut NoopSink, 1000));
+    assert_eq!(noop, 0, "NoopSink instrumentation allocated {noop} times");
+
+    // A pre-reserved recording sink stays allocation-free in the loop...
+    let mut reserved = RecordingSink::with_capacity(1000);
+    let rec = count_allocs(|| drive(&mut reserved, 1000));
+    assert_eq!(rec, 0, "pre-reserved RecordingSink allocated {rec} times in the loop");
+    assert_eq!(reserved.trace().iterations.len(), 1000);
+
+    // ...and an unreserved one allocates only on event-buffer growth:
+    // amortized doubling means <= ~log2(1000) + 1 reallocations.
+    let mut growing = RecordingSink::new();
+    let grow = count_allocs(|| drive(&mut growing, 1000));
+    assert!(
+        grow > 0 && grow <= 12,
+        "unreserved RecordingSink made {grow} allocations for 1000 events; \
+         expected only amortized buffer doubling"
+    );
 }

@@ -10,6 +10,7 @@
 //! - [`route::route_fuel_error`] — accumulated fuel-consumption error
 //!   over vehicle routes (Fig. 4a);
 //! - [`timing`] — repeated-run wall-clock helpers (Fig. 9);
+//! - [`trace`] — table rendering of fit telemetry (DESIGN.md §11);
 //! - [`nmi`] — normalized mutual information (clustering companion
 //!   metric from the GNMF literature);
 //! - [`planner`] — grid Dijkstra route planner over a fuel map (the
@@ -23,6 +24,7 @@ pub mod planner;
 pub mod rms;
 pub mod route;
 pub mod timing;
+pub mod trace;
 
 pub use clustering::{clustering_accuracy, hungarian_min};
 pub use nmi::normalized_mutual_information;
@@ -30,3 +32,4 @@ pub use planner::{plan_route, route_cost_under, FuelGrid, PlannedRoute};
 pub use rms::{mae_over, rms_over};
 pub use route::{route_fuel, route_fuel_error};
 pub use timing::{time_runs, Timing};
+pub use trace::{iteration_timing, phase_rows, render_table};

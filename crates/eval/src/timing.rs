@@ -8,15 +8,21 @@
 use std::time::{Duration, Instant};
 
 /// Result of a repeated timing run.
+///
+/// # Invariant
+/// `runs` holds **at least one** duration — [`time_runs`] clamps its
+/// count to 1, and every statistic below asserts the invariant with a
+/// uniform message instead of panicking on a bare index or `unwrap`.
 #[derive(Debug, Clone)]
 pub struct Timing {
-    /// Individual run durations.
+    /// Individual run durations (never empty; see the type docs).
     pub runs: Vec<Duration>,
 }
 
 impl Timing {
     /// Median duration (runs are sorted internally).
     pub fn median(&self) -> Duration {
+        assert!(!self.runs.is_empty(), "Timing requires at least one run");
         let mut sorted = self.runs.clone();
         sorted.sort();
         sorted[sorted.len() / 2]
@@ -24,13 +30,15 @@ impl Timing {
 
     /// Mean duration.
     pub fn mean(&self) -> Duration {
+        assert!(!self.runs.is_empty(), "Timing requires at least one run");
         let total: Duration = self.runs.iter().sum();
         total / self.runs.len() as u32
     }
 
     /// Fastest run.
     pub fn min(&self) -> Duration {
-        *self.runs.iter().min().expect("at least one run")
+        assert!(!self.runs.is_empty(), "Timing requires at least one run");
+        *self.runs.iter().min().expect("asserted non-empty")
     }
 
     /// Median in fractional seconds (for table printing).
@@ -88,6 +96,29 @@ mod tests {
         assert_eq!(t.mean(), Duration::from_millis(20));
         assert_eq!(t.min(), Duration::from_millis(10));
         assert!((t.median_secs() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_runs_panic_uniformly() {
+        // All three statistics must state the ≥1-run invariant rather
+        // than fail on an out-of-bounds index or division by zero.
+        let empty = Timing { runs: vec![] };
+        for stat in [
+            std::panic::catch_unwind(|| empty.clone().median()),
+            std::panic::catch_unwind(|| empty.clone().mean()),
+            std::panic::catch_unwind(|| empty.clone().min()),
+        ] {
+            let err = stat.expect_err("statistic on empty Timing must panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| err.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            assert!(
+                msg.contains("at least one run"),
+                "panic message should state the invariant, got: {msg}"
+            );
+        }
     }
 
     #[test]

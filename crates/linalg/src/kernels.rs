@@ -44,6 +44,39 @@ use crate::parallel::{parallel_over_rows, threads_for};
 /// updaters switch on [`ObservedPattern::prefers_dense`].
 pub const DENSE_PATH_THRESHOLD: f64 = 0.5;
 
+/// Cumulative kernel-invocation counters, accumulated in the
+/// [`Workspace`] across a fit.
+///
+/// Updated unconditionally by the optimizers (a handful of integer adds
+/// per iteration — far below measurement noise), read out by the
+/// telemetry layer at fit end. Counting invocations here rather than in
+/// the sinks keeps the counters exact even when several kernels run
+/// inside one logical step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// SDDMM evaluations (`R_Ω(U·V)` at observed entries).
+    pub sddmm: u64,
+    /// SpMM evaluations (`R·Vᵀ` against the CSR view).
+    pub spmm: u64,
+    /// SpMMᵀ evaluations (`Rᵀ·U` against the CSC view).
+    pub spmm_t: u64,
+    /// Iterations that took the dense matmul path instead of the sparse
+    /// kernels (masks above [`DENSE_PATH_THRESHOLD`]).
+    pub dense_steps: u64,
+    /// HALS coordinate sweeps (one full U-sweep + V-sweep each).
+    pub hals_sweeps: u64,
+    /// Total packed observed entries processed across all counted
+    /// kernel calls.
+    pub masked_nnz: u64,
+}
+
+impl KernelCounters {
+    /// Total sparse-kernel invocations (SDDMM + SpMM + SpMMᵀ).
+    pub fn kernel_calls(&self) -> u64 {
+        self.sddmm + self.spmm + self.spmm_t
+    }
+}
+
 /// `Ω` and the observed values of `X`, compiled once per fit into a
 /// CSR pattern (with a CSC companion view for column-driven products).
 #[derive(Debug, Clone)]
@@ -420,6 +453,8 @@ pub struct Workspace {
     /// SDDMM; clear it via [`Self::invalidate`] whenever `U` or `V` is
     /// changed outside a step.
     pub uv_fresh: bool,
+    /// Cumulative kernel-invocation counters for this fit (telemetry).
+    pub counters: KernelCounters,
 }
 
 impl Workspace {
@@ -443,6 +478,7 @@ impl Workspace {
             snap_u: None,
             snap_v: None,
             uv_fresh: false,
+            counters: KernelCounters::default(),
         }
     }
 

@@ -55,7 +55,7 @@ pub mod sparse;
 pub mod svd;
 
 pub use error::{LinalgError, Result};
-pub use kernels::{ObservedPattern, Workspace};
+pub use kernels::{KernelCounters, ObservedPattern, Workspace};
 pub use mask::Mask;
 pub use matrix::Matrix;
 pub use sparse::CsrMatrix;

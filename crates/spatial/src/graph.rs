@@ -10,6 +10,22 @@
 
 use crate::kdtree::{brute_force_nearest, KdTree, Neighbor};
 use smfl_linalg::{CsrMatrix, Mask, Matrix, Result};
+use std::time::{Duration, Instant};
+
+/// Wall-clock breakdown of one graph build, reported by
+/// [`SpatialGraph::build_instrumented`] for the telemetry layer.
+///
+/// The two phases partition the pipeline: `knn` covers kd-tree
+/// construction (or the brute-force scan) plus the bulk neighbour
+/// queries; `assembly` covers symmetrization and the direct CSR
+/// emission of `D`, `W` and `L`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphBuildStats {
+    /// Time spent computing the directed p-NN edge lists.
+    pub knn: Duration,
+    /// Time spent assembling the CSR triple from the edge lists.
+    pub assembly: Duration,
+}
 
 /// How neighbour lists are computed when building the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,7 +115,22 @@ impl SpatialGraph {
         weighting: GraphWeighting,
         threads: usize,
     ) -> Result<SpatialGraph> {
+        Self::build_instrumented(si, p, search, weighting, threads).map(|(g, _)| g)
+    }
+
+    /// [`SpatialGraph::build_weighted_with_threads`] that additionally
+    /// returns the per-phase wall-clock breakdown ([`GraphBuildStats`]).
+    /// The graph itself is computed identically — the only extra work is
+    /// four monotonic-clock reads, negligible against a build.
+    pub fn build_instrumented(
+        si: &Matrix,
+        p: usize,
+        search: NeighborSearch,
+        weighting: GraphWeighting,
+        threads: usize,
+    ) -> Result<(SpatialGraph, GraphBuildStats)> {
         let n = si.rows();
+        let knn_t0 = Instant::now();
         // Directed p-NN edge lists, flat query-major: entry `q * kk + t`
         // is the t-th nearest neighbour of point q as `(index, sq_dist)`.
         let (neighbors, kk): (Vec<Neighbor>, usize) = match search {
@@ -117,6 +148,8 @@ impl SpatialGraph {
                 (flat, kk)
             }
         };
+        let knn = knn_t0.elapsed();
+        let assembly_t0 = Instant::now();
         // Hoist the weighting dispatch out of the per-edge loop; both
         // directions of an edge see bitwise-identical squared distances
         // ((a−b)² ≡ (b−a)² summed in the same dimension order), so the
@@ -132,12 +165,19 @@ impl SpatialGraph {
         let degrees = similarity.row_sums();
         let degree = CsrMatrix::diagonal(&degrees);
         let laplacian = assemble_laplacian(&similarity, &degrees)?;
-        Ok(SpatialGraph {
-            similarity,
-            degree,
-            laplacian,
-            p,
-        })
+        let stats = GraphBuildStats {
+            knn,
+            assembly: assembly_t0.elapsed(),
+        };
+        Ok((
+            SpatialGraph {
+                similarity,
+                degree,
+                laplacian,
+                p,
+            },
+            stats,
+        ))
     }
 
     /// Number of vertices.

@@ -40,7 +40,7 @@ pub mod kmeans;
 pub mod metric;
 
 pub use dedupe::dedupe_coordinates;
-pub use graph::{fill_missing_si, GraphWeighting, NeighborSearch, SpatialGraph};
+pub use graph::{fill_missing_si, GraphBuildStats, GraphWeighting, NeighborSearch, SpatialGraph};
 pub use kdtree::KdTree;
 pub use kmeans::{kmeans, KMeansAlgorithm, KMeansConfig, KMeansInit, KMeansResult};
 pub use metric::Metric;

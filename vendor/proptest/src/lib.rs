@@ -211,6 +211,16 @@ pub mod test_runner {
         }
     }
 
+    /// Effective case count: the `PROPTEST_CASES` environment variable
+    /// (which upstream also honours) overrides the per-test config, so
+    /// CI can run deeper sweeps without editing test sources.
+    pub fn resolved_cases(config: &ProptestConfig) -> u32 {
+        match ::std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.trim().parse().unwrap_or(config.cases),
+            Err(_) => config.cases,
+        }
+    }
+
     /// Deterministic xoshiro256** test RNG.
     #[derive(Debug, Clone)]
     pub struct TestRng {
@@ -348,7 +358,8 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
-            for case in 0..config.cases as u64 {
+            let __proptest_cases = $crate::test_runner::resolved_cases(&config);
+            for case in 0..__proptest_cases as u64 {
                 let mut __proptest_rng = $crate::test_runner::TestRng::from_name_and_case(
                     ::std::stringify!($name),
                     case,
@@ -362,7 +373,7 @@ macro_rules! __proptest_items {
                 let outcome: ::std::result::Result<(), ::std::string::String> =
                     (|| { $body ::std::result::Result::Ok(()) })();
                 if let ::std::result::Result::Err(msg) = outcome {
-                    ::std::panic!("proptest case {case} of {}: {msg}", config.cases);
+                    ::std::panic!("proptest case {case} of {__proptest_cases}: {msg}");
                 }
             }
         }
