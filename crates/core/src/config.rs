@@ -189,6 +189,12 @@ impl SmflConfig {
         self
     }
 
+    /// Overrides the rank `K` (and with it the landmark count).
+    pub fn with_rank(mut self, rank: usize) -> Self {
+        self.rank = rank;
+        self
+    }
+
     /// Overrides the iteration cap.
     pub fn with_max_iter(mut self, max_iter: usize) -> Self {
         self.max_iter = max_iter;
@@ -282,11 +288,13 @@ mod tests {
         let c = SmflConfig::smf(3, 2)
             .with_lambda(0.5)
             .with_p(7)
+            .with_rank(6)
             .with_max_iter(10)
             .with_seed(9)
             .with_tol(1e-3)
             .with_gradient_descent(0.01);
         assert_eq!(c.lambda, 0.5);
+        assert_eq!(c.rank, 6);
         assert_eq!(c.p_neighbors, 7);
         assert_eq!(c.max_iter, 10);
         assert_eq!(c.seed, 9);

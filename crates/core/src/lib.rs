@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+mod engine;
 pub mod hals;
 pub mod health;
 pub mod io;
@@ -49,6 +50,8 @@ pub mod landmarks;
 pub mod model;
 pub mod model_selection;
 pub mod objective;
+pub mod plan;
+mod resilience;
 pub mod telemetry;
 pub mod updater;
 
@@ -58,8 +61,12 @@ pub use landmarks::Landmarks;
 pub use model::{
     fit, fit_resilient, fit_traced, fit_with_landmarks, fit_with_sink, impute, repair, FittedModel,
 };
+pub use plan::{FitPlan, PlanCache, PlanCacheStats, SolveOptions};
 pub use telemetry::{
     IterEvent, JsonlSink, NoopSink, Phase, RecordingSink, SpanEvent, Trace, TraceSink,
 };
-pub use model_selection::{fit_with_selection, grid_search, GridSearchResult, ParamGrid};
+pub use model_selection::{
+    fit_with_selection, grid_search, grid_search_cached, grid_search_uncached, GridSearchResult,
+    ParamGrid, Scored, SkipReason, SkippedCandidate,
+};
 pub use objective::objective;

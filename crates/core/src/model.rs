@@ -1,23 +1,25 @@
-//! The fit pipeline (paper Algorithm 1) and the fitted-model API.
+//! The public fit API (paper Algorithm 1) and the fitted-model type.
 //!
-//! [`fit`] runs: graph construction (lines 2-3) → landmark generation
-//! and injection (lines 4-6) → the update loop (lines 7-9) → factor
-//! extraction. [`FittedModel::impute`] applies Formula 8
+//! Every entry point here is a thin wrapper over the compile/solve
+//! split: [`crate::plan::FitPlan`] materializes the pre-loop artifacts
+//! (sanitize → validate → SI fill → graph → landmarks → pattern +
+//! workspace) and [`crate::engine`] runs the update loop over the
+//! borrowed plan — `fit(x, omega, cfg)` is exactly
+//! `FitPlan::compile(x, omega, cfg)?.solve()`, bitwise. Use the plan
+//! API directly to amortize compilation across repeated solves
+//! (model selection, warm-started refits); use these wrappers for the
+//! one-shot fits of the paper's experiments.
+//!
+//! [`FittedModel::impute`] applies Formula 8
 //! (`X̂ ← R_Ω(X) + R_Ψ(X*)`), and [`repair`] reuses the same machinery
 //! with `Ψ` = the set of dirty cells (paper §II-D).
 
-use crate::config::{SmflConfig, Updater};
-use crate::health::{classify, FitEvent, FitFailure, FitReport, HealthPolicy};
+use crate::config::SmflConfig;
+use crate::health::FitReport;
 use crate::landmarks::Landmarks;
-use crate::objective::objective_from_fit_term;
-use crate::telemetry::{
-    IterEvent, JsonlSink, NoopSink, Phase, RecordingSink, SpanEvent, Trace, TraceSink,
-};
-use crate::updater::{gradient_step, multiplicative_step, UpdateContext};
-use smfl_linalg::random::positive_uniform_matrix;
-use smfl_linalg::{LinalgError, Mask, Matrix, ObservedPattern, Result, Workspace};
-use smfl_spatial::{dedupe_coordinates, fill_missing_si, SpatialGraph};
-use std::time::Instant;
+use crate::plan::{FitPlan, SolveOptions};
+use crate::telemetry::{JsonlSink, NoopSink, RecordingSink, Trace, TraceSink};
+use smfl_linalg::{LinalgError, Mask, Matrix, Result};
 
 /// A fitted factorization `X ≈ U·V`.
 #[derive(Debug, Clone)]
@@ -92,6 +94,20 @@ impl FittedModel {
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_deref()
     }
+
+    /// Warm-started refit on new data through an existing plan — the
+    /// serving path for observations that trickle in. Rebinds `plan` to
+    /// `(x, omega)` (in place when the mask is unchanged; see
+    /// [`FitPlan::rebind`]) and solves seeded from this model's
+    /// factors, with the plan's landmark columns re-frozen on top.
+    ///
+    /// The new data must have the plan's shape, and this model must
+    /// have its rank — a rank change is a new model, not a refit
+    /// (`DimensionMismatch { op: "warm_start" }`).
+    pub fn refit(&self, plan: &mut FitPlan, x: &Matrix, omega: &Mask) -> Result<FittedModel> {
+        plan.rebind(x, omega)?;
+        plan.solve_with(&SolveOptions::warm_from(self))
+    }
 }
 
 /// Fits a model to the observed cells of `x`.
@@ -127,6 +143,19 @@ fn fit_dispatch(
         },
         None => fit_inner(x, omega, config, landmarks_override, &mut NoopSink),
     }
+}
+
+/// Compile + solve against one shared sink — the one-shot pipeline
+/// every public wrapper funnels through.
+fn fit_inner<S: TraceSink>(
+    x: &Matrix,
+    omega: &Mask,
+    config: &SmflConfig,
+    landmarks_override: Option<Landmarks>,
+    sink: &mut S,
+) -> Result<FittedModel> {
+    let mut plan = FitPlan::compile_full(x, omega, config, landmarks_override, None, sink)?;
+    crate::engine::solve(&mut plan, &SolveOptions::default(), sink)
 }
 
 /// [`fit`] streaming telemetry into a caller-supplied [`TraceSink`].
@@ -186,488 +215,6 @@ pub fn fit_resilient(x: &Matrix, omega: &Mask, config: &SmflConfig) -> Result<Fi
     fit(x, omega, &cfg)
 }
 
-/// Appends `event` to the report and mirrors it to the sink, keeping a
-/// trace's engine-event stream identical to `FitReport::events`.
-fn record<S: TraceSink>(report: &mut FitReport, sink: &mut S, event: FitEvent) {
-    if S::ENABLED {
-        sink.engine(&event);
-    }
-    report.events.push(event);
-}
-
-/// Deterministic seed derivation for retries — `salt = 0` returns the
-/// base seed unchanged so the clean path is bitwise-stable.
-fn derive_seed(seed: u64, salt: u64) -> u64 {
-    seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
-
-/// Masks out observed cells the optimizers cannot digest: non-finite
-/// values always, negative values under a multiplicative updater.
-/// Returns `None` when the input is already clean (no clone made) or
-/// when the shapes mismatch (validation reports that instead).
-fn sanitize_inputs(
-    x: &Matrix,
-    omega: &Mask,
-    multiplicative: bool,
-) -> Option<(Matrix, Mask, usize)> {
-    if x.shape() != omega.shape() {
-        return None;
-    }
-    let mut cleaned: Option<(Matrix, Mask)> = None;
-    let mut removed = 0usize;
-    for (i, j) in omega.iter_set() {
-        let v = x.get(i, j);
-        if !v.is_finite() || (multiplicative && v < 0.0) {
-            let (cx, co) = cleaned.get_or_insert_with(|| (x.clone(), omega.clone()));
-            co.set(i, j, false);
-            cx.set(i, j, 0.0);
-            removed += 1;
-        }
-    }
-    cleaned.map(|(cx, co)| (cx, co, removed))
-}
-
-/// `true` when the landmark matrix is usable: all-finite with pairwise
-/// distinct rows (duplicate centres make the frozen columns of `V`
-/// linearly dependent — the "degenerate landmarks" failure).
-fn landmarks_healthy(lm: &Landmarks) -> bool {
-    if !lm.centers.all_finite() {
-        return false;
-    }
-    let (k, l) = lm.centers.shape();
-    for a in 0..k {
-        for b in a + 1..k {
-            if (0..l).all(|j| lm.centers.get(a, j) == lm.centers.get(b, j)) {
-                return false;
-            }
-        }
-    }
-    true
-}
-
-/// Landmark generation with the bounded deterministic retry policy:
-/// attempt 0 is bitwise-identical to the non-resilient path; on a
-/// degenerate result the coordinates are de-duplicated (jitter-free)
-/// and k-means re-seeded, up to `max_restarts` times; then landmarks
-/// are dropped (the last rung of the ladder before plain NMF).
-fn landmarks_resilient<S: TraceSink>(
-    si: &Matrix,
-    k: usize,
-    config: &SmflConfig,
-    report: &mut FitReport,
-    sink: &mut S,
-) -> Option<Landmarks> {
-    let max_attempts = config.resilience.max_restarts;
-    let mut si_work: Option<Matrix> = None;
-    for attempt in 0..=max_attempts {
-        let src = si_work.as_ref().unwrap_or(si);
-        let seed = derive_seed(config.seed, attempt as u64);
-        if let Ok(lm) = Landmarks::compute(src, k, config.kmeans_max_iter, seed) {
-            if landmarks_healthy(&lm) {
-                return Some(lm);
-            }
-        }
-        if attempt == max_attempts {
-            break;
-        }
-        if si_work.is_none() {
-            let mut copy = si.clone();
-            let rows = dedupe_coordinates(&mut copy);
-            if rows > 0 {
-                report.deduped_rows = rows;
-                record(report, sink, FitEvent::CoordinatesDeduped { rows });
-            }
-            si_work = Some(copy);
-        }
-        record(report, sink, FitEvent::LandmarksRetried { attempt: attempt + 1 });
-    }
-    record(
-        report,
-        sink,
-        FitEvent::LandmarksDropped { reason: "degenerate after bounded retries" },
-    );
-    None
-}
-
-/// Graph construction with the degradation checks of the ladder's first
-/// rung: a failed build, non-finite edge weights, an edgeless graph or
-/// a disconnected one all drop the Laplacian term (recorded), leaving
-/// landmarks intact.
-fn graph_resilient<S: TraceSink>(
-    si: &Matrix,
-    n: usize,
-    config: &SmflConfig,
-    report: &mut FitReport,
-    sink: &mut S,
-) -> Option<SpatialGraph> {
-    let reason = match build_graph_traced(si, config, sink) {
-        Err(_) => "graph construction failed",
-        Ok(g) => {
-            if !g.all_finite() {
-                "non-finite edge weights"
-            } else if n > 1 && g.similarity.nnz() == 0 {
-                "edgeless graph"
-            } else if !g.is_connected() {
-                "disconnected graph"
-            } else {
-                return Some(g);
-            }
-        }
-    };
-    record(report, sink, FitEvent::LaplacianDropped { reason });
-    None
-}
-
-/// `SpatialGraph::build_weighted`, emitting the kNN/assembly sub-spans
-/// when the sink is enabled (the disabled path calls the plain builder
-/// so no clock is ever read).
-fn build_graph_traced<S: TraceSink>(
-    si: &Matrix,
-    config: &SmflConfig,
-    sink: &mut S,
-) -> Result<SpatialGraph> {
-    if S::ENABLED {
-        let (g, stats) =
-            SpatialGraph::build_instrumented(si, config.p_neighbors, config.search, config.weighting, 0)?;
-        sink.span(&SpanEvent { phase: Phase::GraphKnn, wall: stats.knn });
-        sink.span(&SpanEvent { phase: Phase::GraphAssembly, wall: stats.assembly });
-        Ok(g)
-    } else {
-        SpatialGraph::build_weighted(si, config.p_neighbors, config.search, config.weighting)
-    }
-}
-
-/// `dst = (dst + fresh) / 2` elementwise — the deterministic restart
-/// perturbation for the multiplicative/HALS optimizers (both operands
-/// positive, so feasibility is preserved).
-fn blend_half(dst: &mut Matrix, fresh: &Matrix) {
-    for (a, &b) in dst.as_mut_slice().iter_mut().zip(fresh.as_slice()) {
-        *a = 0.5 * (*a + b);
-    }
-}
-
-/// The engine proper, generic over the telemetry sink. `S = NoopSink`
-/// monomorphizes to the uninstrumented engine: every `if S::ENABLED`
-/// below const-folds away, so no clock is read, no event constructed
-/// and no allocation made on the disabled path.
-fn fit_inner<S: TraceSink>(
-    x: &Matrix,
-    omega: &Mask,
-    config: &SmflConfig,
-    landmarks_override: Option<Landmarks>,
-    sink: &mut S,
-) -> Result<FittedModel> {
-    let res = config.resilience;
-    let mut report = FitReport::default();
-
-    // (4) Input sanitization — resilient mode only; the default path
-    // rejects unusable cells in `validate` instead.
-    let sanitized = if res.enabled && res.sanitize {
-        sanitize_inputs(x, omega, matches!(config.updater, Updater::Multiplicative))
-    } else {
-        None
-    };
-    let (x, omega) = match &sanitized {
-        Some((cx, co, removed)) => {
-            report.sanitized_cells = *removed;
-            record(&mut report, sink, FitEvent::Sanitized { cells: *removed });
-            (cx, co)
-        }
-        None => (x, omega),
-    };
-
-    validate(x, omega, config)?;
-    let (n, m) = x.shape();
-    let k = config.rank;
-    let l = config.spatial_cols;
-
-    // The mean-filled SI feeds both the similarity graph (Algorithm 1
-    // lines 2-3) and the landmark k-means (lines 4-6) — computed at most
-    // once and shared.
-    let needs_graph = config.variant.uses_spatial_regularization() && config.lambda != 0.0;
-    let needs_si_landmarks = landmarks_override.is_none() && config.variant.uses_landmarks();
-    let si = if needs_graph || needs_si_landmarks {
-        let t0 = S::ENABLED.then(Instant::now);
-        let si = fill_missing_si(x, omega, l);
-        if let Some(t0) = t0 {
-            sink.span(&SpanEvent { phase: Phase::SiFill, wall: t0.elapsed() });
-        }
-        Some(si)
-    } else {
-        None
-    };
-
-    // Algorithm 1 lines 2-3: similarity graph on (possibly mean-filled)
-    // SI. In resilient mode a degenerate graph drops the Laplacian term
-    // (first rung of the degradation ladder) instead of failing.
-    let graph = if needs_graph {
-        let si = si.as_ref().ok_or(LinalgError::Internal {
-            invariant: "SI computed when the graph needs it",
-        })?;
-        let t0 = S::ENABLED.then(Instant::now);
-        let graph = if res.enabled {
-            graph_resilient(si, n, config, &mut report, sink)
-        } else {
-            Some(build_graph_traced(si, config, sink)?)
-        };
-        if let Some(t0) = t0 {
-            sink.span(&SpanEvent { phase: Phase::GraphBuild, wall: t0.elapsed() });
-        }
-        graph
-    } else {
-        None
-    };
-
-    // Algorithm 1 line 1: strictly positive initialization. U is scaled
-    // by 1/K so the initial reconstruction U·V has the magnitude of the
-    // (unit-normalized) data — important for SMFL, whose frozen landmark
-    // columns cannot rescale themselves during the iterations.
-    let mut u = positive_uniform_matrix(n, k, config.seed).scale(1.0 / k as f64);
-    let mut v = positive_uniform_matrix(k, m, config.seed.wrapping_add(1));
-
-    // Algorithm 1 lines 4-6: landmarks (explicit override wins; else
-    // compute from k-means on the mean-filled SI for the SMFL variant).
-    // In resilient mode degenerate landmarks are retried with deduped
-    // coordinates and re-derived seeds, then dropped (second rung).
-    let landmarks = match landmarks_override {
-        Some(lm) => {
-            lm.inject(&mut v)?;
-            Some(lm)
-        }
-        None if config.variant.uses_landmarks() => {
-            let si = si.as_ref().ok_or(LinalgError::Internal {
-                invariant: "SI computed when landmarks need it",
-            })?;
-            let t0 = S::ENABLED.then(Instant::now);
-            let lm = if res.enabled {
-                landmarks_resilient(si, k, config, &mut report, sink)
-            } else {
-                Some(Landmarks::compute(si, k, config.kmeans_max_iter, config.seed)?)
-            };
-            if let Some(t0) = t0 {
-                sink.span(&SpanEvent { phase: Phase::Landmarks, wall: t0.elapsed() });
-            }
-            if let Some(lm) = &lm {
-                lm.inject(&mut v)?;
-            }
-            lm
-        }
-        None => None,
-    };
-
-    // Compile Ω + X into the fused iteration engine's sparse pattern and
-    // allocate the per-fit scratch once; the update loop below performs
-    // no further heap allocation (checkpoint buffers included — they are
-    // allocated on first use and reused by memcpy thereafter).
-    let compile_t0 = S::ENABLED.then(Instant::now);
-    let masked_x = omega.apply(x)?;
-    let pattern = ObservedPattern::compile(x, omega)?;
-    let mut ws = Workspace::new(&pattern, k);
-    if let Some(t0) = compile_t0 {
-        sink.span(&SpanEvent { phase: Phase::PatternCompile, wall: t0.elapsed() });
-    }
-    let ctx = UpdateContext {
-        masked_x: &masked_x,
-        omega,
-        pattern: &pattern,
-        graph: graph.as_ref(),
-        lambda: config.lambda,
-        landmarks: landmarks.as_ref(),
-    };
-    let policy = HealthPolicy {
-        divergence_tol: res.divergence_tol,
-        stall_patience: res.stall_patience,
-    };
-    let v_start = landmarks.as_ref().map_or(0, Landmarks::spatial_cols);
-
-    // Algorithm 1 lines 7-9: iterate until convergence or t₁. The
-    // resilient engine additionally runs the health sentinel each
-    // iteration, checkpoints every new best iterate, and restarts from
-    // the checkpoint (bounded, deterministically perturbed) on failure.
-    let mut history = Vec::with_capacity(config.max_iter.min(1024));
-    let mut converged = false;
-    let mut iterations = 0;
-    let mut best_obj = f64::INFINITY;
-    let mut prev_accepted: Option<f64> = None;
-    let mut since_best = 0usize;
-    let mut restarts = 0usize;
-    let mut lr_scale = 1.0f64;
-    let loop_t0 = S::ENABLED.then(Instant::now);
-    for t in 0..config.max_iter {
-        let iter_t0 = S::ENABLED.then(Instant::now);
-        let fit_t = match config.updater {
-            Updater::Multiplicative => multiplicative_step(&ctx, &mut ws, &mut u, &mut v)?,
-            Updater::GradientDescent { learning_rate } => {
-                gradient_step(&ctx, &mut ws, &mut u, &mut v, learning_rate * lr_scale)?
-            }
-            Updater::Hals => crate::hals::hals_step(&ctx, &mut ws, &mut u, &mut v)?,
-        };
-        let obj = objective_from_fit_term(fit_t, &u, config.lambda, graph.as_ref())?;
-
-        // Health classification: the resilient engine runs the full
-        // sentinel exactly as before; the legacy fail-fast path only
-        // ever reacted to a non-finite objective.
-        let health = if res.enabled {
-            classify(obj, prev_accepted, &u, &v, since_best, &policy)
-        } else if !obj.is_finite() {
-            Some(FitFailure::NonFinite)
-        } else {
-            None
-        };
-
-        if S::ENABLED {
-            sink.iter(&IterEvent {
-                iteration: t,
-                objective: obj,
-                fit_term: fit_t,
-                laplacian_term: obj - fit_t,
-                wall: iter_t0.map_or(std::time::Duration::ZERO, |t0| t0.elapsed()),
-                health,
-                accepted: health.is_none(),
-                landmarks_intact: landmarks
-                    .as_ref()
-                    .is_none_or(|lm| lm.verify_injected(&v)),
-            });
-        }
-
-        if !res.enabled {
-            // Legacy fail-fast path, kept bitwise identical.
-            if health.is_some() {
-                return Err(LinalgError::NoConvergence {
-                    routine: "smfl_fit",
-                    iterations: t,
-                });
-            }
-        } else if let Some(failure) = health {
-            if failure == FitFailure::Stalled || restarts >= res.max_restarts {
-                report.failure = Some(failure);
-                break;
-            }
-            restarts += 1;
-            report.restarts = restarts;
-            record(&mut report, sink, FitEvent::Restarted { iteration: t, failure });
-            if matches!(config.updater, Updater::GradientDescent { .. }) {
-                lr_scale *= 0.5;
-            }
-            if ws.restore(&mut u, &mut v) {
-                if !matches!(config.updater, Updater::GradientDescent { .. }) {
-                    // Re-running the same rules from the same point would
-                    // reproduce the failure; blend in a fresh positive
-                    // init (seeded, no wall-clock) to shift the iterate.
-                    let s = derive_seed(config.seed, 100 + restarts as u64);
-                    blend_half(&mut u, &positive_uniform_matrix(n, k, s).scale(1.0 / k as f64));
-                    blend_half(&mut v, &positive_uniform_matrix(k, m, s.wrapping_add(1)));
-                    if let Some(lm) = &landmarks {
-                        lm.inject(&mut v)?;
-                    }
-                    ws.invalidate();
-                }
-            } else {
-                // Failure before any accepted iterate: fresh re-init.
-                let s = derive_seed(config.seed, 200 + restarts as u64);
-                u = positive_uniform_matrix(n, k, s).scale(1.0 / k as f64);
-                v = positive_uniform_matrix(k, m, s.wrapping_add(1));
-                if let Some(lm) = &landmarks {
-                    lm.inject(&mut v)?;
-                }
-                ws.invalidate();
-            }
-            prev_accepted = None;
-            since_best = 0;
-            continue;
-        }
-
-        // Factors must stay in the feasible region whenever they are
-        // finite (frozen landmark coordinates may legitimately be
-        // negative, so only live columns of V are checked).
-        debug_assert!(
-            !u.all_finite() || u.is_nonnegative(0.0),
-            "U left the nonnegative orthant at iteration {t}"
-        );
-        #[cfg(debug_assertions)]
-        if v.all_finite() {
-            for kk in 0..v.rows() {
-                for j in v_start..v.cols() {
-                    debug_assert!(
-                        v.get(kk, j) >= 0.0,
-                        "V went negative at ({kk}, {j}), iteration {t}"
-                    );
-                }
-            }
-        }
-        #[cfg(not(debug_assertions))]
-        let _ = v_start;
-
-        if res.enabled {
-            if obj < best_obj {
-                best_obj = obj;
-                since_best = 0;
-                ws.checkpoint(&u, &v);
-            } else {
-                since_best += 1;
-            }
-        }
-        let improved_enough = prev_accepted
-            .is_some_and(|prev| (prev - obj).abs() <= config.tol * prev.abs().max(1.0));
-        prev_accepted = Some(obj);
-        history.push(obj);
-        iterations = t + 1;
-        if improved_enough {
-            converged = true;
-            break;
-        }
-    }
-
-    // Rollback: a resilient fit always returns its best recorded
-    // iterate. The checkpoint holds exactly the factors of
-    // `min(history)`, so restoring makes the returned model's objective
-    // equal the best the trace ever saw.
-    if res.enabled {
-        let final_obj = history.last().copied().unwrap_or(f64::INFINITY);
-        let factors_bad = !u.all_finite() || !v.all_finite();
-        if ws.has_checkpoint() && (report.failure.is_some() || factors_bad || final_obj > best_obj)
-        {
-            if ws.restore(&mut u, &mut v) {
-                report.rolled_back = true;
-                record(&mut report, sink, FitEvent::RolledBack { iteration: iterations });
-            }
-        } else if factors_bad {
-            // No good iterate was ever recorded: return a finite,
-            // deterministic initialization with the failure on record
-            // rather than NaN factors.
-            let s = derive_seed(config.seed, 300);
-            u = positive_uniform_matrix(n, k, s).scale(1.0 / k as f64);
-            v = positive_uniform_matrix(k, m, s.wrapping_add(1));
-            if let Some(lm) = &landmarks {
-                lm.inject(&mut v)?;
-            }
-            report.rolled_back = true;
-            record(&mut report, sink, FitEvent::RolledBack { iteration: iterations });
-        }
-        report.record_tail(&history);
-    }
-
-    if S::ENABLED {
-        if let Some(t0) = loop_t0 {
-            sink.span(&SpanEvent { phase: Phase::UpdateLoop, wall: t0.elapsed() });
-        }
-        sink.counters(&ws.counters);
-        sink.finish();
-    }
-
-    Ok(FittedModel {
-        u,
-        v,
-        landmarks,
-        objective_history: history,
-        iterations,
-        converged,
-        spatial_cols: l,
-        report,
-        trace: None,
-    })
-}
-
 /// Fit + impute in one call: returns `X̂` with unobserved cells filled
 /// from the factorization (Algorithm 1's return value).
 pub fn impute(x: &Matrix, omega: &Mask, config: &SmflConfig) -> Result<Matrix> {
@@ -681,251 +228,10 @@ pub fn repair(x: &Matrix, dirty: &Mask, config: &SmflConfig) -> Result<Matrix> {
     impute(x, &omega, config)
 }
 
-fn validate(x: &Matrix, omega: &Mask, config: &SmflConfig) -> Result<()> {
-    if x.shape() != omega.shape() {
-        return Err(LinalgError::DimensionMismatch {
-            left: x.shape(),
-            right: omega.shape(),
-            op: "fit",
-        });
-    }
-    let (n, m) = x.shape();
-    if n == 0 || m == 0 {
-        return Err(LinalgError::Empty);
-    }
-    // K must stay below N (each landmark needs data); K > M is allowed
-    // (an overcomplete dictionary of landmarks, which Fig. 8's
-    // "moderately large K" recommendation exploits).
-    if config.rank == 0 || config.rank >= n.max(2) {
-        return Err(LinalgError::BadLength {
-            expected: n.saturating_sub(1),
-            actual: config.rank,
-        });
-    }
-    if config.spatial_cols > m {
-        return Err(LinalgError::IndexOutOfBounds {
-            index: (0, config.spatial_cols),
-            shape: (n, m),
-        });
-    }
-    // One pass over the observed cells: non-finite values are never
-    // usable (they poison every inner product); negative values break
-    // the multiplicative rules' nonnegativity invariant. In resilient
-    // mode with sanitization these cells were masked out before
-    // validation, so this check only fires on the fail-fast path.
-    let multiplicative = matches!(config.updater, Updater::Multiplicative);
-    for (i, j) in omega.iter_set() {
-        let v = x.get(i, j);
-        if !v.is_finite() {
-            return Err(LinalgError::NonFinite {
-                op: "fit",
-                index: (i, j),
-            });
-        }
-        if multiplicative && v < 0.0 {
-            return Err(LinalgError::BadLength {
-                expected: 0,
-                actual: i * m + j,
-            });
-        }
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::SmflConfig;
-    use smfl_linalg::random::uniform_matrix;
-
-    /// Synthetic low-rank nonnegative data with two leading coordinate
-    /// columns — a miniature of the paper's setting.
-    fn spatial_data(n: usize, m: usize, seed: u64) -> Matrix {
-        let u = smfl_linalg::random::positive_uniform_matrix(n, 3, seed);
-        let v = smfl_linalg::random::positive_uniform_matrix(3, m, seed + 1);
-        smfl_linalg::ops::matmul(&u, &v).unwrap().scale(1.0 / 3.0)
-    }
-
-    fn drop_cells(n: usize, m: usize, frac_inv: usize) -> Mask {
-        let mut omega = Mask::full(n, m);
-        for i in 0..n {
-            if i % frac_inv == 0 {
-                omega.set(i, (i * 5 + 2) % m, false);
-            }
-        }
-        omega
-    }
-
-    #[test]
-    fn fit_runs_and_shapes_are_right() {
-        let x = spatial_data(40, 6, 1);
-        let omega = drop_cells(40, 6, 4);
-        let model = fit(&x, &omega, &SmflConfig::smfl(4, 2).with_max_iter(50)).unwrap();
-        assert_eq!(model.u.shape(), (40, 4));
-        assert_eq!(model.v.shape(), (4, 6));
-        assert_eq!(model.feature_locations().unwrap().shape(), (4, 2));
-        assert!(model.iterations > 0);
-        assert!(!model.objective_history.is_empty());
-    }
-
-    #[test]
-    fn objective_history_non_increasing_for_multiplicative() {
-        let x = spatial_data(30, 5, 2);
-        let omega = drop_cells(30, 5, 3);
-        for cfg in [
-            SmflConfig::nmf(3).with_max_iter(60),
-            SmflConfig::smf(3, 2).with_max_iter(60),
-            SmflConfig::smfl(3, 2).with_max_iter(60),
-        ] {
-            let model = fit(&x, &omega, &cfg).unwrap();
-            for w in model.objective_history.windows(2) {
-                assert!(
-                    w[1] <= w[0] + 1e-9,
-                    "objective rose under {:?}: {} -> {}",
-                    cfg.variant,
-                    w[0],
-                    w[1]
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn landmarks_present_only_for_smfl() {
-        let x = spatial_data(25, 5, 3);
-        let omega = Mask::full(25, 5);
-        assert!(fit(&x, &omega, &SmflConfig::smfl(3, 2).with_max_iter(5))
-            .unwrap()
-            .landmarks
-            .is_some());
-        assert!(fit(&x, &omega, &SmflConfig::smf(3, 2).with_max_iter(5))
-            .unwrap()
-            .landmarks
-            .is_none());
-        assert!(fit(&x, &omega, &SmflConfig::nmf(3).with_max_iter(5))
-            .unwrap()
-            .landmarks
-            .is_none());
-    }
-
-    #[test]
-    fn smfl_feature_locations_equal_landmarks() {
-        let x = spatial_data(30, 6, 4);
-        let omega = drop_cells(30, 6, 5);
-        let model = fit(&x, &omega, &SmflConfig::smfl(4, 2).with_max_iter(30)).unwrap();
-        let locs = model.feature_locations().unwrap();
-        let lm = model.landmarks.as_ref().unwrap();
-        assert!(locs.approx_eq(&lm.centers, 0.0));
-    }
-
-    #[test]
-    fn impute_preserves_observed_cells_exactly() {
-        let x = spatial_data(30, 5, 5);
-        let omega = drop_cells(30, 5, 3);
-        let imputed = impute(&x, &omega, &SmflConfig::smfl(3, 2).with_max_iter(40)).unwrap();
-        for (i, j) in omega.iter_set() {
-            assert_eq!(imputed.get(i, j), x.get(i, j));
-        }
-    }
-
-    #[test]
-    fn impute_recovers_low_rank_data_well() {
-        // Data is exactly rank 3; a rank-3 fit should fill the holes with
-        // small error.
-        let x = spatial_data(60, 6, 6);
-        let omega = drop_cells(60, 6, 2);
-        let psi = omega.complement();
-        let imputed = impute(
-            &x,
-            &omega,
-            &SmflConfig::nmf(3).with_max_iter(500).with_tol(1e-10),
-        )
-        .unwrap();
-        let mut err = 0.0;
-        let mut cnt = 0;
-        for (i, j) in psi.iter_set() {
-            err += (imputed.get(i, j) - x.get(i, j)).powi(2);
-            cnt += 1;
-        }
-        let rms = (err / cnt as f64).sqrt();
-        assert!(rms < 0.08, "imputation RMS too high: {rms}");
-    }
-
-    #[test]
-    fn repair_replaces_only_dirty_cells() {
-        let x = spatial_data(25, 5, 7);
-        let mut dirty = Mask::empty(25, 5);
-        dirty.set(3, 4, true);
-        dirty.set(10, 2, true);
-        let repaired = repair(&x, &dirty, &SmflConfig::smfl(3, 2).with_max_iter(30)).unwrap();
-        for i in 0..25 {
-            for j in 0..5 {
-                if !dirty.get(i, j) {
-                    assert_eq!(repaired.get(i, j), x.get(i, j));
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn converges_before_cap_on_easy_data() {
-        let x = spatial_data(40, 5, 8);
-        let omega = Mask::full(40, 5);
-        let model = fit(&x, &omega, &SmflConfig::nmf(3).with_tol(1e-4)).unwrap();
-        assert!(model.converged, "did not converge in {} iters", model.iterations);
-        assert!(model.iterations < 500);
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let x = spatial_data(20, 5, 9);
-        let omega = drop_cells(20, 5, 4);
-        let cfg = SmflConfig::smfl(3, 2).with_max_iter(20).with_seed(33);
-        let a = fit(&x, &omega, &cfg).unwrap();
-        let b = fit(&x, &omega, &cfg).unwrap();
-        assert!(a.u.approx_eq(&b.u, 0.0));
-        assert!(a.v.approx_eq(&b.v, 0.0));
-    }
-
-    #[test]
-    fn validation_rejects_bad_configs() {
-        let x = spatial_data(10, 5, 10);
-        let omega = Mask::full(10, 5);
-        assert!(fit(&x, &Mask::full(9, 5), &SmflConfig::nmf(2)).is_err());
-        assert!(fit(&x, &omega, &SmflConfig::nmf(0)).is_err());
-        assert!(fit(&x, &omega, &SmflConfig::nmf(10)).is_err()); // rank >= N
-        // rank > M is allowed: an overcomplete landmark dictionary.
-        assert!(fit(&x, &omega, &SmflConfig::nmf(6).with_max_iter(3)).is_ok());
-        assert!(fit(&x, &omega, &SmflConfig::smfl(2, 9)).is_err()); // L > M
-        assert!(fit(&Matrix::zeros(0, 0), &Mask::full(0, 0), &SmflConfig::nmf(1)).is_err());
-    }
-
-    #[test]
-    fn negative_observed_data_rejected_for_multiplicative() {
-        let mut x = spatial_data(10, 5, 11);
-        x.set(2, 2, -0.5);
-        let omega = Mask::full(10, 5);
-        assert!(fit(&x, &omega, &SmflConfig::nmf(2)).is_err());
-        // ...but fine when the negative cell is unobserved.
-        let mut omega2 = Mask::full(10, 5);
-        omega2.set(2, 2, false);
-        assert!(fit(&x, &omega2, &SmflConfig::nmf(2).with_max_iter(5)).is_ok());
-    }
-
-    #[test]
-    fn gradient_descent_variant_runs() {
-        let x = spatial_data(20, 5, 12);
-        let omega = drop_cells(20, 5, 4);
-        let cfg = SmflConfig::smf(3, 2)
-            .with_gradient_descent(5e-3)
-            .with_max_iter(100);
-        let model = fit(&x, &omega, &cfg).unwrap();
-        assert!(model.u.is_nonnegative(0.0));
-        assert!(model.v.is_nonnegative(0.0));
-        let first = model.objective_history[0];
-        let last = *model.objective_history.last().unwrap();
-        assert!(last <= first);
-    }
+    use smfl_linalg::Matrix;
 
     #[test]
     fn cluster_labels_argmax() {
@@ -941,212 +247,5 @@ mod tests {
             trace: None,
         };
         assert_eq!(model.cluster_labels(), vec![0, 1, 0]);
-    }
-
-    #[test]
-    fn validation_rejects_non_finite_observed_cells() {
-        let mut x = spatial_data(12, 5, 40);
-        x.set(4, 3, f64::NAN);
-        let omega = Mask::full(12, 5);
-        let err = fit(&x, &omega, &SmflConfig::nmf(2)).unwrap_err();
-        assert!(matches!(err, LinalgError::NonFinite { index: (4, 3), .. }));
-        // Unobserved non-finite cells are harmless.
-        let mut omega2 = Mask::full(12, 5);
-        omega2.set(4, 3, false);
-        assert!(fit(&x, &omega2, &SmflConfig::nmf(2).with_max_iter(5)).is_ok());
-    }
-
-    #[test]
-    fn resilient_matches_default_on_clean_data() {
-        let x = spatial_data(30, 6, 41);
-        let omega = drop_cells(30, 6, 4);
-        // p = 8 keeps the kNN graph connected on this data, so no rung
-        // of the degradation ladder fires and both paths see the same
-        // model.
-        let cfg = SmflConfig::smfl(3, 2).with_p(8).with_max_iter(40).with_seed(5);
-        let plain = fit(&x, &omega, &cfg).unwrap();
-        let resilient = fit_resilient(&x, &omega, &cfg).unwrap();
-        assert!(plain.u.approx_eq(&resilient.u, 1e-9));
-        assert!(plain.v.approx_eq(&resilient.v, 1e-9));
-        assert_eq!(resilient.report.restarts, 0);
-        assert!(resilient.report.failure.is_none());
-        assert!(resilient.report.events.is_empty(), "{:?}", resilient.report.events);
-        assert!(!resilient.report.trace_tail.is_empty());
-        // The default path carries an empty report.
-        assert_eq!(plain.report, crate::health::FitReport::default());
-    }
-
-    #[test]
-    fn resilient_gd_restarts_and_returns_best_iterate() {
-        // A learning rate this large makes projected GD diverge; the
-        // resilient engine must restart (halving the rate) and hand back
-        // the best recorded iterate rather than garbage.
-        let x = spatial_data(25, 5, 42);
-        let omega = drop_cells(25, 5, 3);
-        let cfg = SmflConfig::nmf(3)
-            .with_gradient_descent(5.0)
-            .with_max_iter(60)
-            .resilient();
-        let model = fit(&x, &omega, &cfg).unwrap();
-        assert!(model.u.all_finite() && model.v.all_finite());
-        assert!(model.report.restarts >= 1, "{:?}", model.report);
-        assert!(model
-            .report
-            .events
-            .iter()
-            .any(|e| matches!(e, FitEvent::Restarted { .. })));
-        // Returned factors evaluate to the best objective ever recorded.
-        let best = model
-            .objective_history
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
-        let returned =
-            crate::objective::objective(&x, &omega, &model.u, &model.v, 0.0, None).unwrap();
-        assert!(
-            (returned - best).abs() <= 1e-8 * best.abs().max(1.0),
-            "returned {returned} vs best recorded {best}"
-        );
-    }
-
-    #[test]
-    fn resilient_sanitizes_non_finite_cells() {
-        let mut x = spatial_data(25, 5, 43);
-        x.set(2, 3, f64::NAN);
-        x.set(7, 4, f64::INFINITY);
-        x.set(11, 2, -4.0); // negative under multiplicative: also masked
-        let omega = Mask::full(25, 5);
-        // Fail-fast path rejects...
-        assert!(fit(&x, &omega, &SmflConfig::smfl(3, 2)).is_err());
-        // ...the resilient path repairs and fits.
-        let model =
-            fit_resilient(&x, &omega, &SmflConfig::smfl(3, 2).with_max_iter(30)).unwrap();
-        assert!(model.u.all_finite() && model.v.all_finite());
-        assert_eq!(model.report.sanitized_cells, 3);
-        assert!(model
-            .report
-            .events
-            .iter()
-            .any(|e| matches!(e, FitEvent::Sanitized { cells: 3 })));
-        assert!(model.report.failure.is_none());
-    }
-
-    #[test]
-    fn resilient_stall_detection_stops_early() {
-        // All-zero data reaches its fixed point immediately; with a
-        // negative tol the legacy criterion never fires, so the stall
-        // detector is what ends the loop.
-        let x = Matrix::zeros(12, 4);
-        let omega = Mask::full(12, 4);
-        let cfg = SmflConfig::nmf(2)
-            .with_max_iter(200)
-            .with_tol(-1.0)
-            .with_resilience(crate::config::Resilience {
-                stall_patience: 4,
-                ..crate::config::Resilience::on()
-            });
-        let model = fit(&x, &omega, &cfg).unwrap();
-        assert_eq!(model.report.failure, Some(FitFailure::Stalled));
-        assert!(
-            model.iterations < 20,
-            "stall should stop early, ran {}",
-            model.iterations
-        );
-        assert!(model.u.all_finite() && model.v.all_finite());
-    }
-
-    #[test]
-    fn resilient_drops_laplacian_on_disconnected_graph() {
-        // Two clusters far apart with p = 1: the kNN graph splits into
-        // two components, so the resilient engine drops the spatial term
-        // and records it.
-        let n = 20;
-        let x = Matrix::from_fn(n, 5, |i, j| {
-            let base = if i < n / 2 { 0.0 } else { 1000.0 };
-            match j {
-                0 => base + (i % 10) as f64 * 0.01,
-                1 => base,
-                _ => 0.3 + 0.01 * (i as f64) / n as f64,
-            }
-        });
-        let omega = Mask::full(n, 5);
-        let cfg = SmflConfig::smf(3, 2).with_p(1).with_max_iter(20);
-        // Default path fits happily (a disconnected Laplacian is still
-        // PSD) — no behavior change there.
-        assert!(fit(&x, &omega, &cfg).is_ok());
-        let model = fit_resilient(&x, &omega, &cfg).unwrap();
-        assert!(model.report.degraded());
-        assert!(model
-            .report
-            .events
-            .iter()
-            .any(|e| matches!(e, FitEvent::LaplacianDropped { reason: "disconnected graph" })));
-        assert!(model.u.all_finite() && model.v.all_finite());
-    }
-
-    #[test]
-    fn resilient_retries_landmarks_on_duplicate_coordinates() {
-        // Every coordinate identical: k-means centres collapse, which
-        // the resilient engine repairs by deterministic de-duplication
-        // plus a re-seeded retry — landmarks survive.
-        let n = 24;
-        let x = Matrix::from_fn(n, 5, |i, j| match j {
-            0 | 1 => 0.5,
-            _ => 0.2 + 0.02 * ((i * 7 + j) % 11) as f64,
-        });
-        let omega = Mask::full(n, 5);
-        let cfg = SmflConfig::smfl(3, 2).with_max_iter(15);
-        let model = fit_resilient(&x, &omega, &cfg).unwrap();
-        assert!(
-            model.landmarks.is_some(),
-            "landmarks should survive via retry: {:?}",
-            model.report.events
-        );
-        assert!(model
-            .report
-            .events
-            .iter()
-            .any(|e| matches!(e, FitEvent::CoordinatesDeduped { .. })));
-        assert!(model
-            .report
-            .events
-            .iter()
-            .any(|e| matches!(e, FitEvent::LandmarksRetried { .. })));
-        assert!(model.report.deduped_rows > 0);
-        // The surviving landmark rows are pairwise distinct.
-        let lm = &model.landmarks.as_ref().unwrap().centers;
-        for a in 0..lm.rows() {
-            for b in a + 1..lm.rows() {
-                assert!(
-                    (0..lm.cols()).any(|j| lm.get(a, j) != lm.get(b, j)),
-                    "duplicate landmark rows {a} and {b}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn resilient_report_is_deterministic() {
-        let mut x = spatial_data(25, 5, 44);
-        x.set(3, 2, f64::NAN);
-        let omega = drop_cells(25, 5, 3);
-        let cfg = SmflConfig::smfl(3, 2).with_max_iter(25).with_seed(11);
-        let a = fit_resilient(&x, &omega, &cfg).unwrap();
-        let b = fit_resilient(&x, &omega, &cfg).unwrap();
-        assert_eq!(a.report, b.report);
-        assert!(a.u.approx_eq(&b.u, 0.0));
-        assert!(a.v.approx_eq(&b.v, 0.0));
-    }
-
-    #[test]
-    fn uniform_random_data_still_well_behaved() {
-        // Not low-rank at all: fit must stay finite and non-increasing.
-        let x = uniform_matrix(30, 6, 0.0, 1.0, 13);
-        let omega = drop_cells(30, 6, 3);
-        let model = fit(&x, &omega, &SmflConfig::smfl(4, 2).with_max_iter(40)).unwrap();
-        assert!(model.u.all_finite() && model.v.all_finite());
-        for w in model.objective_history.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9);
-        }
     }
 }

@@ -6,9 +6,21 @@
 //! validation** — hide a fraction of the *observed* cells, fit on the
 //! rest, and score RMS on the held-out cells. The winning configuration
 //! is then refitted on all observed data.
+//!
+//! Fits go through a [`PlanCache`]: holdout masks only touch attribute
+//! columns, so the SI — and with it the k-means landmarks and the
+//! similarity graph — is identical across folds and λ-candidates. The
+//! cache therefore runs k-means once per distinct `K`, builds one graph
+//! per distinct `p`, and compiles one observed pattern per fold,
+//! instead of once per candidate × fold ([`grid_search_uncached`] keeps
+//! the naive path for benchmarking and equivalence tests). Skipped
+//! candidates and folds are recorded, not silently dropped, and
+//! non-finite scores are excluded from the ranking — so
+//! [`GridSearchResult::best`] is infallible by construction.
 
 use crate::config::SmflConfig;
-use crate::model::fit;
+use crate::model::{fit, FittedModel};
+use crate::plan::{FitPlan, PlanCache, PlanCacheStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smfl_linalg::{LinalgError, Mask, Matrix, Result};
@@ -73,21 +85,79 @@ impl ParamGrid {
 pub struct Scored {
     /// The candidate configuration.
     pub config: SmflConfig,
-    /// Mean held-out RMS across validation folds.
+    /// Mean held-out RMS across validation folds (always finite).
     pub validation_rms: f64,
 }
 
-/// Result of a grid search: every candidate scored, best first.
+/// Why a candidate was excluded from a [`GridSearchResult`] ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// Every fold either failed to fit or had no held-out cells, so the
+    /// candidate could not be scored at all.
+    AllFoldsFailed,
+    /// The candidate scored, but its mean validation RMS came out
+    /// non-finite (e.g. a divergent fit reconstructing to infinity).
+    NonFiniteScore,
+}
+
+/// A candidate excluded from the ranking, with the reason on record.
+#[derive(Debug, Clone)]
+pub struct SkippedCandidate {
+    /// The excluded configuration.
+    pub config: SmflConfig,
+    /// Why it was excluded.
+    pub reason: SkipReason,
+}
+
+/// Result of a grid search: every scorable candidate ranked, every
+/// unscorable one recorded with its reason.
+///
+/// Construction guarantees a non-empty ranking of finite scores —
+/// [`best`](Self::best) cannot fail or return a non-finite winner.
 #[derive(Debug, Clone)]
 pub struct GridSearchResult {
-    /// Candidates sorted ascending by validation RMS.
-    pub ranking: Vec<Scored>,
+    ranking: Vec<Scored>,
+    skipped: Vec<SkippedCandidate>,
+    skipped_folds: usize,
+    fit_failures: usize,
+    cache_stats: PlanCacheStats,
 }
 
 impl GridSearchResult {
-    /// The winning configuration.
+    /// Candidates sorted ascending by (finite) validation RMS.
+    pub fn ranking(&self) -> &[Scored] {
+        &self.ranking
+    }
+
+    /// The winning configuration. Infallible: a [`grid_search`] that
+    /// cannot rank at least one candidate returns an error instead of a
+    /// result.
     pub fn best(&self) -> &Scored {
         &self.ranking[0]
+    }
+
+    /// Candidates excluded from the ranking, with reasons.
+    pub fn skipped(&self) -> &[SkippedCandidate] {
+        &self.skipped
+    }
+
+    /// Candidate-fold evaluations skipped because the fold held out no
+    /// cells (summed over candidates).
+    pub fn skipped_folds(&self) -> usize {
+        self.skipped_folds
+    }
+
+    /// Individual fold fits that returned an error (summed over
+    /// candidates; a candidate with at least one surviving fold is
+    /// still ranked).
+    pub fn fit_failures(&self) -> usize {
+        self.fit_failures
+    }
+
+    /// What the search's [`PlanCache`] computed versus reused (all
+    /// zeros for [`grid_search_uncached`]).
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache_stats
     }
 }
 
@@ -116,36 +186,38 @@ fn validation_masks(
         .collect()
 }
 
-/// Scores every configuration in `grid` by masked validation and
-/// returns the full ranking.
-///
-/// `holdout_frac` of the observed attribute cells are hidden per fold
-/// (default protocol: 2 folds x 10%).
-///
-/// # Errors
-/// [`LinalgError::Empty`] when no candidate can be evaluated (e.g. all
-/// fits fail or no cells can be held out).
-pub fn grid_search(
+/// The scoring loop shared by the cached and naive searches — only the
+/// way a candidate is fitted differs.
+fn search_with(
     x: &Matrix,
     omega: &Mask,
     base: &SmflConfig,
     grid: &ParamGrid,
     folds: usize,
     holdout_frac: f64,
-) -> Result<GridSearchResult> {
+    mut fit_one: impl FnMut(&Matrix, &Mask, &SmflConfig) -> Result<FittedModel>,
+) -> Result<(Vec<Scored>, Vec<SkippedCandidate>, usize, usize)> {
     let masks = validation_masks(omega, base.spatial_cols, folds.max(1), holdout_frac, base.seed);
     let mut ranking = Vec::new();
+    let mut skipped = Vec::new();
+    let mut skipped_folds = 0usize;
+    let mut fit_failures = 0usize;
     for candidate in grid.candidates(base) {
         let mut total = 0.0;
         let mut scored_folds = 0usize;
         for held in &masks {
             if held.count() == 0 {
+                skipped_folds += 1;
                 continue;
             }
             // Train on observed-minus-held cells.
             let train_omega = omega.and(&held.complement())?;
-            let Ok(model) = fit(x, &train_omega, &candidate) else {
-                continue;
+            let model = match fit_one(x, &train_omega, &candidate) {
+                Ok(model) => model,
+                Err(_) => {
+                    fit_failures += 1;
+                    continue;
+                }
             };
             let rec = model.reconstruct()?;
             let mut err = 0.0;
@@ -156,34 +228,120 @@ pub fn grid_search(
             total += (err / held.count() as f64).sqrt();
             scored_folds += 1;
         }
-        if scored_folds > 0 {
-            ranking.push(Scored {
+        if scored_folds == 0 {
+            skipped.push(SkippedCandidate {
                 config: candidate,
-                validation_rms: total / scored_folds as f64,
+                reason: SkipReason::AllFoldsFailed,
             });
+            continue;
         }
+        let validation_rms = total / scored_folds as f64;
+        if !validation_rms.is_finite() {
+            skipped.push(SkippedCandidate {
+                config: candidate,
+                reason: SkipReason::NonFiniteScore,
+            });
+            continue;
+        }
+        ranking.push(Scored {
+            config: candidate,
+            validation_rms,
+        });
     }
     if ranking.is_empty() {
         return Err(LinalgError::Empty);
     }
-    ranking.sort_by(|a, b| {
-        a.validation_rms
-            .partial_cmp(&b.validation_rms)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    Ok(GridSearchResult { ranking })
+    // All scores are finite by construction; total_cmp keeps the sort
+    // total (and the stable sort keeps candidate order on exact ties).
+    ranking.sort_by(|a, b| a.validation_rms.total_cmp(&b.validation_rms));
+    Ok((ranking, skipped, skipped_folds, fit_failures))
+}
+
+/// Scores every configuration in `grid` by masked validation and
+/// returns the full ranking, sharing compiled plan artifacts across
+/// candidates and folds through a fresh [`PlanCache`].
+///
+/// `holdout_frac` of the observed attribute cells are hidden per fold
+/// (default protocol: 2 folds x 10%).
+///
+/// # Errors
+/// [`LinalgError::Empty`] when no candidate can be ranked (all fits
+/// fail, no cells can be held out, or every score is non-finite).
+pub fn grid_search(
+    x: &Matrix,
+    omega: &Mask,
+    base: &SmflConfig,
+    grid: &ParamGrid,
+    folds: usize,
+    holdout_frac: f64,
+) -> Result<GridSearchResult> {
+    let mut cache = PlanCache::new();
+    grid_search_cached(x, omega, base, grid, folds, holdout_frac, &mut cache)
+}
+
+/// [`grid_search`] against a caller-owned [`PlanCache`] — lets a
+/// follow-up fit (e.g. the winner's full-data refit) keep reusing the
+/// search's landmarks and graphs.
+#[allow(clippy::too_many_arguments)]
+pub fn grid_search_cached(
+    x: &Matrix,
+    omega: &Mask,
+    base: &SmflConfig,
+    grid: &ParamGrid,
+    folds: usize,
+    holdout_frac: f64,
+    cache: &mut PlanCache,
+) -> Result<GridSearchResult> {
+    let (ranking, skipped, skipped_folds, fit_failures) =
+        search_with(x, omega, base, grid, folds, holdout_frac, |x, o, c| {
+            FitPlan::compile_cached(x, o, c, cache)?.solve()
+        })?;
+    Ok(GridSearchResult {
+        ranking,
+        skipped,
+        skipped_folds,
+        fit_failures,
+        cache_stats: cache.stats(),
+    })
+}
+
+/// The naive search: every candidate-fold fit recompiles everything
+/// from scratch via [`fit`]. Scores and ranking are identical to
+/// [`grid_search`]'s — kept as the reference for the plan-reuse
+/// benchmark and the equivalence tests.
+pub fn grid_search_uncached(
+    x: &Matrix,
+    omega: &Mask,
+    base: &SmflConfig,
+    grid: &ParamGrid,
+    folds: usize,
+    holdout_frac: f64,
+) -> Result<GridSearchResult> {
+    let (ranking, skipped, skipped_folds, fit_failures) =
+        search_with(x, omega, base, grid, folds, holdout_frac, fit)?;
+    Ok(GridSearchResult {
+        ranking,
+        skipped,
+        skipped_folds,
+        fit_failures,
+        cache_stats: PlanCacheStats::default(),
+    })
 }
 
 /// Grid search followed by a final fit of the winner on all observed
-/// cells — the end-to-end "tune and train" entry point.
+/// cells — the end-to-end "tune and train" entry point. The final fit
+/// shares the search's [`PlanCache`], so the winner's landmarks and
+/// graph are reused rather than recomputed (holdout masks never touch
+/// the SI columns, so the full-data SI matches the search's).
 pub fn fit_with_selection(
     x: &Matrix,
     omega: &Mask,
     base: &SmflConfig,
     grid: &ParamGrid,
-) -> Result<(crate::model::FittedModel, GridSearchResult)> {
-    let result = grid_search(x, omega, base, grid, 2, 0.1)?;
-    let model = fit(x, omega, &result.best().config)?;
+) -> Result<(FittedModel, GridSearchResult)> {
+    let mut cache = PlanCache::new();
+    let result = grid_search_cached(x, omega, base, grid, 2, 0.1, &mut cache)?;
+    let model = FitPlan::compile_cached(x, omega, &result.best().config, &mut cache)?.solve()?;
     Ok((model, result))
 }
 
@@ -235,9 +393,41 @@ mod tests {
             ranks: vec![3],
         };
         let result = grid_search(&x, &omega, &base, &grid, 2, 0.1).unwrap();
-        assert_eq!(result.ranking.len(), 2);
+        assert_eq!(result.ranking().len(), 2);
         // ranking ascending
-        assert!(result.ranking[0].validation_rms <= result.ranking[1].validation_rms);
+        assert!(result.ranking()[0].validation_rms <= result.ranking()[1].validation_rms);
+        assert!(result.skipped().is_empty());
+        assert_eq!(result.fit_failures(), 0);
+        assert_eq!(result.skipped_folds(), 0);
+    }
+
+    #[test]
+    fn cached_search_matches_uncached_bitwise() {
+        let (x, omega) = problem();
+        let base = SmflConfig::smfl(3, 2).with_max_iter(25);
+        let grid = ParamGrid {
+            lambdas: vec![0.1, 1.0],
+            ps: vec![3, 5],
+            ranks: vec![3, 4],
+        };
+        let cached = grid_search(&x, &omega, &base, &grid, 2, 0.1).unwrap();
+        let naive = grid_search_uncached(&x, &omega, &base, &grid, 2, 0.1).unwrap();
+        assert_eq!(cached.ranking().len(), naive.ranking().len());
+        for (a, b) in cached.ranking().iter().zip(naive.ranking()) {
+            assert_eq!(a.validation_rms, b.validation_rms, "scores diverged");
+            assert_eq!(a.config.lambda, b.config.lambda);
+            assert_eq!(a.config.p_neighbors, b.config.p_neighbors);
+            assert_eq!(a.config.rank, b.config.rank);
+        }
+        // And the cache genuinely shared work: 2 ranks → 2 k-means runs,
+        // 2 p values → 2 graph builds, 2 folds → 2 pattern compiles.
+        let stats = cached.cache_stats();
+        assert_eq!(stats.kmeans_runs, 2, "{stats:?}");
+        assert_eq!(stats.graph_builds, 2, "{stats:?}");
+        assert_eq!(stats.pattern_compiles, 2, "{stats:?}");
+        assert_eq!(stats.si_resets, 0, "{stats:?}");
+        assert!(stats.landmark_hits > 0 && stats.graph_hits > 0 && stats.pattern_hits > 0);
+        assert_eq!(naive.cache_stats(), PlanCacheStats::default());
     }
 
     #[test]
@@ -267,9 +457,29 @@ mod tests {
         };
         let (model, result) = fit_with_selection(&x, &omega, &base, &grid).unwrap();
         assert!(model.u.all_finite());
-        assert_eq!(result.ranking.len(), 2);
+        assert_eq!(result.ranking().len(), 2);
         let imputed = model.impute(&x, &omega).unwrap();
         assert!(imputed.all_finite());
+    }
+
+    #[test]
+    fn failed_candidates_are_recorded_not_dropped() {
+        let (x, omega) = problem();
+        let base = SmflConfig::smf(3, 2).with_max_iter(20);
+        // rank 200 >= N = 80: validation rejects it in every fold;
+        // rank 3 survives.
+        let grid = ParamGrid {
+            lambdas: vec![0.1],
+            ps: vec![3],
+            ranks: vec![3, 200],
+        };
+        let result = grid_search(&x, &omega, &base, &grid, 2, 0.1).unwrap();
+        assert_eq!(result.ranking().len(), 1);
+        assert_eq!(result.skipped().len(), 1);
+        assert_eq!(result.skipped()[0].config.rank, 200);
+        assert_eq!(result.skipped()[0].reason, SkipReason::AllFoldsFailed);
+        assert_eq!(result.fit_failures(), 2, "one failure per fold");
+        assert_eq!(result.best().config.rank, 3);
     }
 
     #[test]

@@ -84,6 +84,17 @@ pub enum Phase {
     Landmarks,
     /// `ObservedPattern` compilation + workspace allocation.
     PatternCompile,
+    /// The whole compile phase of a [`crate::plan::FitPlan`] (sanitize,
+    /// validate, SI fill, graph, landmarks, pattern — everything before
+    /// the update loop).
+    PlanCompile,
+    /// A compile-phase artifact was served from a
+    /// [`crate::plan::PlanCache`] instead of being rebuilt (wall time is
+    /// the lookup, not the build it saved).
+    PlanReuse,
+    /// Warm-start seeding of `U`/`V` from a previous solution,
+    /// including re-freezing the landmark columns.
+    WarmStart,
     /// The whole update loop (all iterations, restarts included).
     UpdateLoop,
 }
@@ -98,6 +109,9 @@ impl Phase {
             Phase::GraphBuild => "graph_build",
             Phase::Landmarks => "landmarks",
             Phase::PatternCompile => "pattern_compile",
+            Phase::PlanCompile => "plan_compile",
+            Phase::PlanReuse => "plan_reuse",
+            Phase::WarmStart => "warm_start",
             Phase::UpdateLoop => "update_loop",
         }
     }
@@ -458,6 +472,9 @@ mod tests {
             (Phase::GraphBuild, "graph_build"),
             (Phase::Landmarks, "landmarks"),
             (Phase::PatternCompile, "pattern_compile"),
+            (Phase::PlanCompile, "plan_compile"),
+            (Phase::PlanReuse, "plan_reuse"),
+            (Phase::WarmStart, "warm_start"),
             (Phase::UpdateLoop, "update_loop"),
         ] {
             assert_eq!(phase.name(), name);

@@ -7,13 +7,16 @@ use crate::timing::Timing;
 use smfl_core::telemetry::{event_parts, Phase, Trace};
 
 /// All phases in pipeline order (sub-spans after their parent).
-const PHASES: [Phase; 7] = [
+const PHASES: [Phase; 10] = [
     Phase::SiFill,
     Phase::GraphBuild,
     Phase::GraphKnn,
     Phase::GraphAssembly,
     Phase::Landmarks,
     Phase::PatternCompile,
+    Phase::PlanReuse,
+    Phase::PlanCompile,
+    Phase::WarmStart,
     Phase::UpdateLoop,
 ];
 

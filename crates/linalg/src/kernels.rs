@@ -156,6 +156,54 @@ impl ObservedPattern {
         })
     }
 
+    /// Rewrites the packed observed values from `x` without recompiling
+    /// the index structure — the warm-start/refit fast path for new data
+    /// arriving under an **unchanged** mask. Performs no heap
+    /// allocation.
+    ///
+    /// # Errors
+    /// - shape mismatch with the compiled grid;
+    /// - `omega` observes a different cell set than the compiled
+    ///   pattern (count or layout) — recompile instead.
+    pub fn refill(&mut self, x: &Matrix, omega: &Mask) -> Result<()> {
+        if x.shape() != (self.rows, self.cols) || omega.shape() != (self.rows, self.cols) {
+            return Err(LinalgError::DimensionMismatch {
+                left: x.shape(),
+                right: (self.rows, self.cols),
+                op: "pattern_refill",
+            });
+        }
+        if omega.count() != self.nnz() {
+            return Err(LinalgError::BadLength {
+                expected: self.nnz(),
+                actual: omega.count(),
+            });
+        }
+        // Verify the layout first (equal counts can still disagree
+        // cell-by-cell), so an error never leaves the values half-written.
+        let mut slot = 0usize;
+        for i in 0..self.rows {
+            for j in omega.iter_row_set(i) {
+                if self.col_idx[slot] != j {
+                    return Err(LinalgError::IndexOutOfBounds {
+                        index: (i, j),
+                        shape: (self.rows, self.cols),
+                    });
+                }
+                slot += 1;
+            }
+        }
+        let mut slot = 0usize;
+        for i in 0..self.rows {
+            let xrow = x.row(i);
+            for j in omega.iter_row_set(i) {
+                self.x_vals[slot] = xrow[j];
+                slot += 1;
+            }
+        }
+        Ok(())
+    }
+
     /// Number of rows of the underlying grid.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -453,6 +501,11 @@ pub struct Workspace {
     /// SDDMM; clear it via [`Self::invalidate`] whenever `U` or `V` is
     /// changed outside a step.
     pub uv_fresh: bool,
+    /// `true` once the current solve has recorded a checkpoint. Cleared
+    /// by [`Self::begin_solve`] so a reused workspace keeps its snapshot
+    /// *buffers* (no realloc) but never restores a stale iterate from a
+    /// previous solve.
+    snap_armed: bool,
     /// Cumulative kernel-invocation counters for this fit (telemetry).
     pub counters: KernelCounters,
 }
@@ -478,8 +531,39 @@ impl Workspace {
             snap_u: None,
             snap_v: None,
             uv_fresh: false,
+            snap_armed: false,
             counters: KernelCounters::default(),
         }
+    }
+
+    /// Re-sizes the nnz-dependent buffers to a new pattern over the
+    /// **same grid shape** — the refit path for a changed mask. All
+    /// shape-dependent scratch (including lazily allocated snapshot and
+    /// dense buffers) is kept, so only the packed-value vectors can
+    /// reallocate, and only when the new mask is larger.
+    pub fn rebind(&mut self, pattern: &ObservedPattern) -> Result<()> {
+        if (pattern.rows(), pattern.cols()) != (self.rows, self.cols) {
+            return Err(LinalgError::DimensionMismatch {
+                left: (pattern.rows(), pattern.cols()),
+                right: (self.rows, self.cols),
+                op: "workspace_rebind",
+            });
+        }
+        self.uv_vals.resize(pattern.nnz(), 0.0);
+        self.res_vals.resize(pattern.nnz(), 0.0);
+        self.uv_fresh = false;
+        Ok(())
+    }
+
+    /// Resets the per-solve state (cached reconstruction, checkpoint
+    /// arming, kernel counters) while keeping every buffer allocated —
+    /// called by the engine at the start of each solve so a plan's
+    /// workspace can be reused across solves without carrying state
+    /// over. A no-op on a freshly constructed workspace.
+    pub fn begin_solve(&mut self) {
+        self.uv_fresh = false;
+        self.snap_armed = false;
+        self.counters = KernelCounters::default();
     }
 
     /// The dense `N x M` reconstruction buffer, allocated on first use
@@ -501,6 +585,7 @@ impl Workspace {
     /// (double-buffering), so steady-state checkpointing is a pair of
     /// `memcpy`s — no heap allocation.
     pub fn checkpoint(&mut self, u: &Matrix, v: &Matrix) {
+        self.snap_armed = true;
         match &mut self.snap_u {
             Some(s) if s.shape() == u.shape() => {
                 s.as_mut_slice().copy_from_slice(u.as_slice());
@@ -515,15 +600,20 @@ impl Workspace {
         }
     }
 
-    /// `true` once [`Self::checkpoint`] has recorded an iterate.
+    /// `true` once [`Self::checkpoint`] has recorded an iterate in the
+    /// current solve (see [`Self::begin_solve`]).
     pub fn has_checkpoint(&self) -> bool {
-        self.snap_u.is_some() && self.snap_v.is_some()
+        self.snap_armed && self.snap_u.is_some() && self.snap_v.is_some()
     }
 
     /// Restores the last checkpoint into `(u, v)` and invalidates the
     /// cached reconstruction. Returns `false` (leaving `u`/`v` alone)
-    /// when no checkpoint was ever recorded or the shapes disagree.
+    /// when no checkpoint was recorded this solve or the shapes
+    /// disagree.
     pub fn restore(&mut self, u: &mut Matrix, v: &mut Matrix) -> bool {
+        if !self.snap_armed {
+            return false;
+        }
         let (Some(su), Some(sv)) = (&self.snap_u, &self.snap_v) else {
             return false;
         };

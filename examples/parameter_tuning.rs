@@ -32,8 +32,8 @@ fn main() {
     let result = grid_search(&inj.corrupted, &inj.omega, &base, &grid, 2, 0.1)
         .expect("grid search succeeds");
 
-    println!("\nvalidation ranking (top 5 of {}):", result.ranking.len());
-    for s in result.ranking.iter().take(5) {
+    println!("\nvalidation ranking (top 5 of {}):", result.ranking().len());
+    for s in result.ranking().iter().take(5) {
         println!(
             "  λ={:<5} p={} K={} -> held-out RMS {:.4}",
             s.config.lambda, s.config.p_neighbors, s.config.rank, s.validation_rms
@@ -42,7 +42,7 @@ fn main() {
 
     // Does the validation winner actually win on the *true* hidden cells?
     let mut true_scores: Vec<(String, f64)> = Vec::new();
-    for s in &result.ranking {
+    for s in result.ranking() {
         let model = smfl_core::fit(&inj.corrupted, &inj.omega, &s.config).expect("fit");
         let imputed = model.impute(&inj.corrupted, &inj.omega).expect("impute");
         let rms = rms_over(&imputed, &dataset.data, &inj.psi).expect("rms");

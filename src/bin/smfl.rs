@@ -234,7 +234,7 @@ fn tune_cmd(args: &Args, raw: &Matrix, omega: &Mask) -> Result<String, String> {
     )
     .map_err(|e| format!("grid search failed: {e}"))?;
     let mut out = String::from("rank | lambda | p | K | validation RMS\n");
-    for (idx, s) in result.ranking.iter().enumerate().take(10) {
+    for (idx, s) in result.ranking().iter().enumerate().take(10) {
         out.push_str(&format!(
             "{:>4} | {:>6} | {} | {} | {:.4}\n",
             idx + 1,
@@ -242,6 +242,14 @@ fn tune_cmd(args: &Args, raw: &Matrix, omega: &Mask) -> Result<String, String> {
             s.config.p_neighbors,
             s.config.rank,
             s.validation_rms
+        ));
+    }
+    if !result.skipped().is_empty() || result.fit_failures() > 0 {
+        out.push_str(&format!(
+            "skipped candidates: {} | failed fold fits: {} | empty folds: {}\n",
+            result.skipped().len(),
+            result.fit_failures(),
+            result.skipped_folds()
         ));
     }
     out.push_str(&format!(
